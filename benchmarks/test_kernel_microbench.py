@@ -1,0 +1,51 @@
+"""Microbenchmarks of the simulation kernel itself.
+
+Not a paper figure — these guard the substrate's performance, on which
+every experiment's wall-clock depends.
+"""
+
+from repro.sim import Environment, FlowNetwork
+
+
+def test_event_throughput(benchmark):
+    """Raw discrete-event dispatch rate."""
+
+    def run():
+        env = Environment()
+
+        def ticker(env, count):
+            for _ in range(count):
+                yield env.timeout(1.0)
+
+        for _ in range(10):
+            env.process(ticker(env, 2_000))
+        env.run()
+        return env.now
+
+    now = benchmark(run)
+    assert now == 2_000.0
+
+
+def test_flow_rebalance_throughput(benchmark):
+    """Max-min recomputation under churn on a contended fabric."""
+
+    def run():
+        env = Environment()
+        net = FlowNetwork(env)
+        for index in range(32):
+            net.add_resource(f"link-{index}", 100.0)
+        net.add_resource("backbone", 500.0)
+
+        def churn(env, index):
+            for round_number in range(20):
+                flow = net.start_flow(
+                    50.0 + (index % 7),
+                    [f"link-{index % 32}", "backbone"],
+                )
+                yield flow.done
+        for index in range(64):
+            env.process(churn(env, index))
+        env.run()
+        return env.now
+
+    benchmark(run)

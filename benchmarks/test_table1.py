@@ -1,0 +1,14 @@
+"""Bench: regenerate Table 1 (experiment overview)."""
+
+from repro.experiments import run_table1
+
+
+def test_table1_overview(benchmark):
+    table = benchmark(run_table1)
+    print()
+    print(table.format())
+    assert len(table.rows) == 4
+    assert table.column("workflow") == [
+        "SNV Calling", "SNV Calling", "RNA-seq", "Montage",
+    ]
+    assert table.column("scheduler") == ["data-aware", "FCFS", "data-aware", "HEFT"]

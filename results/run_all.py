@@ -1,0 +1,27 @@
+"""Regenerate the paper results recorded in EXPERIMENTS.md.
+
+Figure 4 is produced by the sibling script run_fig4_standard.py (the
+paper-scale Fig4Config() takes ~1 h of single-core wall time)."""
+import json, time
+from repro.experiments import (
+    Fig4Config, Fig6Config, Fig8Config, Fig9Config, Table2Config,
+    run_fig4, run_fig6, run_fig8, run_fig9, run_table1, run_table2,
+)
+
+JOBS = [
+    ("table1", lambda: run_table1()),
+    ("table2", lambda: run_table2(Table2Config(runs=1))),
+    ("fig6", lambda: run_fig6(Fig6Config())),
+    ("fig8", lambda: run_fig8(Fig8Config(runs=5))),
+    ("fig9", lambda: run_fig9(Fig9Config(consecutive_heft_runs=20, experiment_repeats=40))),
+]
+for name, job in JOBS:
+    started = time.time()
+    table = job()
+    elapsed = time.time() - started
+    with open(f"/root/repo/results/{name}.md", "w") as fh:
+        fh.write(table.to_markdown() + "\n")
+    with open(f"/root/repo/results/{name}.txt", "w") as fh:
+        fh.write(table.format() + f"\n(wall time {elapsed:.0f}s)\n")
+    print(f"{name} done in {elapsed:.0f}s", flush=True)
+print("ALL DONE", flush=True)

@@ -1,0 +1,10 @@
+"""Fig. 4 at the paper-scale configuration (Fig4Config defaults)."""
+import time
+from repro.experiments.fig4 import Fig4Config, run_fig4
+
+started = time.time()
+table = run_fig4(Fig4Config(runs=1))
+print(table.format())
+with open("/root/repo/results/fig4_full.txt", "w") as fh:
+    fh.write(table.format() + f"\n(wall time {time.time()-started:.0f}s)\n")
+print(f"done in {time.time()-started:.0f}s", flush=True)

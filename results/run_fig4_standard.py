@@ -1,0 +1,27 @@
+"""Fig. 4 at 'standard scale': full 24-node topology, half-scale data.
+
+The paper-scale configuration (96 samples x 8 x 1 GB, 576 containers)
+is Fig4Config() and takes ~1 h of single-core wall time; this standard
+scale halves container counts and data proportionally, preserving the
+compute-to-network balance and therefore the crossover shape.
+"""
+import time
+from repro.experiments.fig4 import Fig4Config, run_fig4
+
+config = Fig4Config(
+    node_count=24,
+    container_counts=(24, 48, 96, 192),
+    samples=36,
+    files_per_sample=8,
+    mb_per_file=512.0,
+    backbone_mb_s=30.0,
+    runs=1,
+)
+started = time.time()
+table = run_fig4(config)
+print(table.format())
+with open("/root/repo/results/fig4.md", "w") as fh:
+    fh.write(table.to_markdown() + "\n")
+with open("/root/repo/results/fig4.txt", "w") as fh:
+    fh.write(table.format() + f"\n(wall time {time.time()-started:.0f}s)\n")
+print(f"done in {time.time()-started:.0f}s")

@@ -1,0 +1,18 @@
+"""Galaxy CloudMan baseline: Slurm scheduling over shared EBS storage."""
+
+from repro.baselines.cloudman.engine import (
+    CLOUDMAN_MAX_NODES,
+    CloudManResult,
+    EbsVolume,
+    GalaxyCloudMan,
+)
+from repro.baselines.cloudman.slurm import SlurmJob, SlurmScheduler
+
+__all__ = [
+    "GalaxyCloudMan",
+    "CloudManResult",
+    "EbsVolume",
+    "SlurmScheduler",
+    "SlurmJob",
+    "CLOUDMAN_MAX_NODES",
+]

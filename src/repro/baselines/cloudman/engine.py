@@ -1,0 +1,199 @@
+"""Galaxy CloudMan baseline (Sec. 4.2).
+
+CloudMan turns Galaxy into a small cluster (at most 20 nodes — the paper
+calls out this hard limit) scheduled by Slurm. The performance-relevant
+difference from Hi-WAY is storage: CloudMan keeps *all* data — inputs,
+outputs, and the intermediate files tools scribble while running — on a
+persistent EBS volume that is network-attached and shared among all
+compute nodes, while Hi-WAY uses the workers' transient local SSDs via
+HDFS. Every byte a CloudMan task touches therefore crosses the node's
+link, the switch backbone, and the volume's aggregate throughput limit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from repro.baselines.cloudman.slurm import SlurmScheduler
+from repro.cluster.cluster import Cluster
+from repro.cluster.node import Node
+from repro.errors import ToolNotInstalled, WorkflowError
+from repro.tools.profile import ToolRegistry
+from repro.workflow.model import TaskSpec, WorkflowGraph
+
+__all__ = ["EbsVolume", "CloudManResult", "GalaxyCloudMan"]
+
+#: CloudMan's automated setup only supports clusters up to this size.
+CLOUDMAN_MAX_NODES = 20
+
+
+class EbsVolume:
+    """The shared network volume holding every CloudMan file."""
+
+    def __init__(self, cluster: Cluster):
+        self._cluster = cluster
+        self._files: dict[str, float] = {}
+
+    def register(self, path: str, size_mb: float) -> None:
+        """Place a pre-existing input on the volume."""
+        self._files[path] = float(size_mb)
+
+    def exists(self, path: str) -> bool:
+        return path in self._files
+
+    def size_of(self, path: str) -> float:
+        try:
+            return self._files[path]
+        except KeyError:
+            raise WorkflowError(f"not on the EBS volume: {path!r}") from None
+
+    def read(self, path: str, node_id: str):
+        """Event: stream ``path`` from the volume to ``node_id``."""
+        return self._cluster.ebs_io(node_id, self.size_of(path), label=f"ebs-r:{path}")
+
+    def write(self, path: str, size_mb: float, node_id: str):
+        """Event: stream ``size_mb`` from ``node_id`` onto the volume."""
+        self._files[path] = float(size_mb)
+        return self._cluster.ebs_io(node_id, size_mb, label=f"ebs-w:{path}")
+
+    def scratch_io(self, size_mb: float, node_id: str):
+        """Event: intermediate-file traffic, also through the volume."""
+        return self._cluster.ebs_io(node_id, size_mb, label=f"ebs-s:{node_id}")
+
+
+@dataclass
+class CloudManResult:
+    """Terminal report of one CloudMan workflow execution."""
+
+    name: str
+    success: bool
+    started_at: float
+    finished_at: float
+    tasks_completed: int
+    diagnostics: list[str] = field(default_factory=list)
+
+    @property
+    def runtime_seconds(self) -> float:
+        return self.finished_at - self.started_at
+
+
+class GalaxyCloudMan:
+    """Executes Galaxy workflows on Slurm with EBS-backed storage."""
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        tools: ToolRegistry,
+        slots_per_node: int = 1,
+        use_transient_storage: bool = False,
+    ):
+        if cluster.spec.worker_count > CLOUDMAN_MAX_NODES:
+            raise WorkflowError(
+                f"Galaxy CloudMan only supports clusters of up to "
+                f"{CLOUDMAN_MAX_NODES} nodes (got {cluster.spec.worker_count})"
+            )
+        self.env = cluster.env
+        self.cluster = cluster
+        self.tools = tools
+        self.volume = EbsVolume(cluster)
+        self.slurm = SlurmScheduler(self.env, cluster.workers, slots_per_node)
+        #: A later CloudMan update added transient (local-disk) storage;
+        #: off by default, as EBS "continues to be the default option".
+        self.use_transient_storage = use_transient_storage
+
+    def stage_inputs(self, files: dict[str, float]) -> None:
+        """Place input files onto the volume (no simulated time)."""
+        for path, size_mb in files.items():
+            self.volume.register(path, size_mb)
+
+    # -- execution --------------------------------------------------------------
+
+    def run(self, graph: WorkflowGraph) -> CloudManResult:
+        """Execute ``graph`` and drive the simulation to completion."""
+        process = self.env.process(self.execute(graph))
+        self.env.run(until=process)
+        return process.value
+
+    def execute(self, graph: WorkflowGraph):
+        """Generator process executing ``graph`` on Slurm."""
+        graph.validate()
+        started = self.env.now
+        diagnostics: list[str] = []
+        for path in graph.input_files():
+            if not self.volume.exists(path):
+                return CloudManResult(
+                    graph.name, False, started, self.env.now, 0,
+                    [f"missing input file {path!r}"],
+                )
+        completed: set[str] = set()
+        dispatched: set[str] = set()
+        outstanding: dict = {}
+        failed = False
+
+        def ready(task: TaskSpec) -> bool:
+            return all(self.volume.exists(path) for path in task.inputs)
+
+        while len(completed) < len(graph.tasks) and not failed:
+            for task in graph.topological_order():
+                if task.task_id in dispatched or not ready(task):
+                    continue
+                dispatched.add(task.task_id)
+                outstanding[task.task_id] = self.slurm.submit(
+                    lambda node, task=task: self._job_body(task, node)
+                )
+            if not outstanding:
+                diagnostics.append("workflow stalled: no runnable tasks")
+                failed = True
+                break
+            finished = yield self.env.any_of(list(outstanding.values()))
+            for event, payload in list(finished.items()):
+                job, value = payload
+                for task_id, pending in list(outstanding.items()):
+                    if pending is event:
+                        del outstanding[task_id]
+                        if isinstance(value, BaseException):
+                            diagnostics.append(f"task {task_id} failed: {value!r}")
+                            failed = True
+                        else:
+                            completed.add(task_id)
+        return CloudManResult(
+            name=graph.name,
+            success=not failed,
+            started_at=started,
+            finished_at=self.env.now,
+            tasks_completed=len(completed),
+            diagnostics=diagnostics,
+        )
+
+    def _job_body(self, task: TaskSpec, node: Node):
+        """One Galaxy job: EBS stage-in, tool run, EBS stage-out."""
+        profile = self.tools.get(task.tool)
+        if not node.has_software(task.tool):
+            raise ToolNotInstalled(
+                f"{task.tool!r} missing on {node.node_id}",
+                task_id=task.task_id,
+                node=node.node_id,
+            )
+        reads = [self.volume.read(path, node.node_id) for path in task.inputs]
+        if reads:
+            yield self.env.all_of(reads)
+        input_mb = sum(self.volume.size_of(path) for path in task.inputs)
+        threads = min(profile.max_threads, node.spec.cores)
+        yield node.compute(profile.work_for(input_mb), threads=threads)
+        # Scratch I/O is sequential with compute (see
+        # repro.core.execution); on CloudMan it crosses the network to
+        # the shared volume unless transient storage is enabled.
+        scratch = profile.scratch_mb(input_mb)
+        if scratch > 0:
+            if self.use_transient_storage:
+                yield node.disk_io(scratch)
+            else:
+                yield self.volume.scratch_io(scratch, node.node_id)
+        sizes = profile.output_sizes(input_mb, len(task.outputs))
+        writes = []
+        for index, path in enumerate(task.outputs):
+            hinted = task.hinted_size(path)
+            size = sizes[index] if hinted is None else hinted
+            writes.append(self.volume.write(path, size, node.node_id))
+        if writes:
+            yield self.env.all_of(writes)
+        return task.task_id

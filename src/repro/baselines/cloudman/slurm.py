@@ -1,0 +1,92 @@
+"""A miniature Slurm: FIFO batch scheduling over fixed node slots.
+
+Galaxy CloudMan (Sec. 4.2) dispatches Galaxy jobs through Slurm. The
+paper configured it — like Hi-WAY — to run a single task per worker node
+at a time, which is the default here.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Generator, Optional
+
+from repro.cluster.node import Node
+from repro.errors import SchedulingError
+from repro.sim.engine import Environment, Event
+
+__all__ = ["SlurmJob", "SlurmScheduler"]
+
+
+@dataclass
+class SlurmJob:
+    """One queued batch job."""
+
+    job_id: int
+    body_factory: Callable[[Node], Generator]
+    done: Event
+    node: Optional[Node] = None
+
+
+class SlurmScheduler:
+    """FIFO queue over homogeneous node slots."""
+
+    def __init__(self, env: Environment, nodes: list[Node], slots_per_node: int = 1):
+        if not nodes:
+            raise SchedulingError("slurm needs at least one node")
+        if slots_per_node < 1:
+            raise SchedulingError("slots_per_node must be >= 1")
+        self.env = env
+        self.nodes = list(nodes)
+        self.slots_per_node = slots_per_node
+        self._free: dict[str, int] = {node.node_id: slots_per_node for node in nodes}
+        self._queue: deque[SlurmJob] = deque()
+        self._next_id = 1
+        self.jobs_completed = 0
+
+    def submit(self, body_factory: Callable[[Node], Generator]) -> Event:
+        """Queue a job; the returned event fires with (job, value) on exit.
+
+        ``body_factory`` receives the node the job landed on and returns
+        the simulation generator to run there.
+        """
+        job = SlurmJob(self._next_id, body_factory, self.env.event())
+        self._next_id += 1
+        self._queue.append(job)
+        self._try_dispatch()
+        return job.done
+
+    def _try_dispatch(self) -> None:
+        while self._queue:
+            node = self._first_free_node()
+            if node is None:
+                return
+            job = self._queue.popleft()
+            job.node = node
+            self._free[node.node_id] -= 1
+            self.env.process(self._run(job))
+
+    def _first_free_node(self) -> Optional[Node]:
+        for node in self.nodes:
+            if self._free[node.node_id] > 0:
+                return node
+        return None
+
+    def _run(self, job: SlurmJob):
+        try:
+            value = yield self.env.process(job.body_factory(job.node))
+        except BaseException as error:
+            self._free[job.node.node_id] += 1
+            self.jobs_completed += 1
+            job.done.succeed((job, error))
+            self._try_dispatch()
+            return
+        self._free[job.node.node_id] += 1
+        self.jobs_completed += 1
+        job.done.succeed((job, value))
+        self._try_dispatch()
+
+    @property
+    def queued(self) -> int:
+        """Jobs waiting for a slot."""
+        return len(self._queue)

@@ -1,0 +1,235 @@
+"""A miniature Tez application master (Sec. 2.2, evaluated in Sec. 4.1).
+
+Differences from the Hi-WAY AM that matter for the Figure 4 comparison:
+
+* **no data-aware placement** — tasks are bound to whatever container
+  YARN hands over next, so input blocks are fetched across the network
+  whenever the round-robin allocation lands elsewhere;
+* **stage barriers** — a scatter-gather edge forces the whole upstream
+  vertex to finish before any downstream task starts;
+* **no provenance / adaptive scheduling** — Tez collects no cross-run
+  statistics the way Hi-WAY's Provenance Manager does.
+
+What is shared — deliberately — is the container lifecycle (HDFS
+stage-in, tool invocation, HDFS stage-out) and the YARN substrate, so
+the comparison isolates scheduling behaviour just like the paper's
+experiment did.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.baselines.tez.dag import SCATTER_GATHER, TezDag, from_workflow_graph
+from repro.cluster.cluster import Cluster
+from repro.core.execution import run_task_in_container
+from repro.hdfs.filesystem import HdfsClient
+from repro.tools.profile import ToolRegistry
+from repro.workflow.model import TaskSpec, WorkflowGraph
+from repro.yarn.records import ContainerResource, ContainerState
+from repro.yarn.resourcemanager import ResourceManager
+
+__all__ = ["TezResult", "TezApplicationMaster"]
+
+
+@dataclass
+class TezResult:
+    """Terminal report of one Tez DAG execution."""
+
+    dag_name: str
+    success: bool
+    started_at: float
+    finished_at: float
+    tasks_completed: int
+    task_failures: int
+    diagnostics: list[str] = field(default_factory=list)
+
+    @property
+    def runtime_seconds(self) -> float:
+        return self.finished_at - self.started_at
+
+
+class TezApplicationMaster:
+    """Runs one Tez DAG on the simulated YARN cluster."""
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        hdfs: HdfsClient,
+        rm: ResourceManager,
+        tools: ToolRegistry,
+        dag: TezDag | WorkflowGraph,
+        container_resource: Optional[ContainerResource] = None,
+        max_retries: int = 2,
+        reuse_containers: bool = True,
+    ):
+        self.env = cluster.env
+        self.cluster = cluster
+        self.hdfs = hdfs
+        self.rm = rm
+        self.tools = tools
+        self.dag = dag if isinstance(dag, TezDag) else from_workflow_graph(dag)
+        self.container_resource = container_resource or ContainerResource()
+        self.max_retries = max_retries
+        #: Tez's signature container reuse: a finished task's container
+        #: picks up the next queued task instead of being released.
+        self.reuse_containers = reuse_containers
+        self.containers_reused = 0
+
+        self._vertex_of: dict[str, str] = {}
+        self._remaining_in_vertex: dict[str, int] = {}
+        for vertex in self.dag.vertices.values():
+            self._remaining_in_vertex[vertex.name] = len(vertex.tasks)
+            for task in vertex.tasks:
+                self._vertex_of[task.task_id] = vertex.name
+        #: Vertices gated by scatter-gather edges from these upstreams.
+        self._barriers: dict[str, set[str]] = {
+            name: {
+                edge.src
+                for edge in self.dag.upstream_of(name)
+                if edge.kind == SCATTER_GATHER
+            }
+            for name in self.dag.vertices
+        }
+        self._available: set[str] = set()
+        self._attempts: dict[str, int] = {}
+        self._dispatched: set[str] = set()
+        self._completed_tasks: set[str] = set()
+        self._queue: list[TaskSpec] = []
+        self._running = 0
+        self._failures = 0
+        self._failed = False
+        self._diagnostics: list[str] = []
+        self._done = self.env.event()
+        self._app = None
+
+    # -- readiness -------------------------------------------------------------
+
+    def _vertex_unblocked(self, vertex_name: str) -> bool:
+        return all(
+            self._remaining_in_vertex[upstream] == 0
+            for upstream in self._barriers[vertex_name]
+        )
+
+    def _task_ready(self, task: TaskSpec) -> bool:
+        if not self._vertex_unblocked(self._vertex_of[task.task_id]):
+            return False
+        return all(
+            path in self._available or self.hdfs.exists(path)
+            for path in task.inputs
+        )
+
+    # -- main process ---------------------------------------------------------------
+
+    def run(self):
+        """Generator process executing the DAG to completion."""
+        started = self.env.now
+        self._app = self.rm.register_application(f"tez:{self.dag.name}")
+        for path in self.dag.input_files():
+            if not self.hdfs.exists(path):
+                return self._finish(started, error=f"missing input file {path!r}")
+            self._available.add(path)
+        total = sum(v.parallelism for v in self.dag.vertices.values())
+        if total == 0:
+            return self._finish(started)
+        self._dispatch_ready()
+        if self._running == 0:
+            return self._finish(started, error="DAG has no runnable tasks")
+        yield self._done
+        return self._finish(started)
+
+    def _finish(self, started: float, error: Optional[str] = None) -> TezResult:
+        if error is not None:
+            self._diagnostics.append(error)
+            self._failed = True
+        if self._app is not None:
+            self.rm.unregister_application(self._app)
+        return TezResult(
+            dag_name=self.dag.name,
+            success=not self._failed,
+            started_at=started,
+            finished_at=self.env.now,
+            tasks_completed=len(self._completed_tasks),
+            task_failures=self._failures,
+            diagnostics=list(self._diagnostics),
+        )
+
+    # -- dispatch --------------------------------------------------------------------
+
+    def _dispatch_ready(self) -> None:
+        for vertex in self.dag.vertices.values():
+            for task in vertex.tasks:
+                if task.task_id in self._dispatched:
+                    continue
+                if self._task_ready(task):
+                    self._dispatched.add(task.task_id)
+                    self._submit(task)
+
+    def _submit(self, task: TaskSpec) -> None:
+        self._queue.append(task)
+        request = self.rm.request_container(self._app, self.container_resource)
+        self._running += 1
+        self.env.process(self._chain(request))
+
+    def _chain(self, request):
+        container = yield request
+        while True:
+            if self._failed or not self._queue:
+                self.rm.release_container(container)
+                self._running -= 1
+                self._check_done()
+                return
+            task = self._queue.pop(0)  # strict FIFO, no locality
+            self._attempts[task.task_id] = self._attempts.get(task.task_id, 0) + 1
+            watcher = self.rm.node_managers[container.node_id].launch(
+                container,
+                run_task_in_container(
+                    self.env, self.cluster, self.hdfs, self.tools, task, container
+                ),
+            )
+            outcome = yield watcher
+            if outcome.success:
+                result = outcome.value
+                self._completed_tasks.add(task.task_id)
+                vertex_name = self._vertex_of[task.task_id]
+                self._remaining_in_vertex[vertex_name] -= 1
+                self._available.update(result.output_sizes)
+                self._dispatch_ready()
+            else:
+                self._failures += 1
+                if self._attempts[task.task_id] <= self.max_retries:
+                    self._submit(task)
+                else:
+                    self._diagnostics.append(
+                        f"task {task.task_id} failed: {outcome.error!r}"
+                    )
+                    self._failed = True
+            reusable = (
+                self.reuse_containers
+                and container.state is ContainerState.COMPLETED
+                and self.cluster.node(container.node_id).alive
+                and not self._failed
+                and bool(self._queue)
+            )
+            if reusable:
+                # Tez's signature optimisation: the warm container takes
+                # the next queued task instead of going back to YARN.
+                # Surplus outstanding requests simply find an empty queue
+                # on allocation and release immediately.
+                self.containers_reused += 1
+                continue
+            self.rm.release_container(container)
+            self._running -= 1
+            self._check_done()
+            return
+
+    def _check_done(self) -> None:
+        if self._done.triggered:
+            return
+        if self._failed and self._running == 0:
+            self._done.succeed()
+            return
+        total = sum(v.parallelism for v in self.dag.vertices.values())
+        if len(self._completed_tasks) == total and self._running == 0:
+            self._done.succeed()

@@ -1,0 +1,166 @@
+"""The light-weight Hi-WAY client as a command line (Sec. 3.1).
+
+"To submit workflows for execution, Hi-WAY provides a light-weight
+client program" — this module is that client for the simulated
+installation: it provisions a cluster, installs tools, stages inputs,
+submits a workflow file in any supported language, and reports the
+outcome (optionally saving the re-executable provenance trace).
+
+Usage::
+
+    python -m repro run workflow.cf --workers 4 \\
+        --input /in/data.csv=256 --scheduler data-aware \\
+        --trace-out run.trace
+    python -m repro run run.trace --workers 2      # re-execute a trace
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional
+
+from repro.cluster import C3_2XLARGE, Cluster, ClusterSpec, M3_LARGE, XEON_E5_2620
+from repro.core import HiWay, HiWayConfig, SCHEDULER_NAMES
+from repro.core.provenance import TraceFileStore
+from repro.errors import ReproError
+from repro.langs import parse_workflow
+from repro.sim import Environment
+
+__all__ = ["main", "build_parser"]
+
+NODE_TYPES = {
+    "m3.large": M3_LARGE,
+    "c3.2xlarge": C3_2XLARGE,
+    "xeon": XEON_E5_2620,
+}
+
+
+def _parse_size_spec(spec: str) -> tuple[str, float]:
+    """``/path=SIZE_MB`` -> (path, size)."""
+    path, separator, size = spec.partition("=")
+    if not separator or not path:
+        raise argparse.ArgumentTypeError(
+            f"expected PATH=SIZE_MB, got {spec!r}"
+        )
+    try:
+        return path, float(size)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"bad size in {spec!r}") from None
+
+
+def _parse_binding(spec: str) -> tuple[str, str]:
+    """``label=/path`` -> (label, path) for Galaxy input steps."""
+    label, separator, path = spec.partition("=")
+    if not separator or not label or not path:
+        raise argparse.ArgumentTypeError(f"expected LABEL=PATH, got {spec!r}")
+    return label, path
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the argument parser for the client CLI."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Submit a workflow to a simulated Hi-WAY installation.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+    run = subparsers.add_parser("run", help="execute a workflow file")
+    run.add_argument("workflow", help="workflow file (any supported language)")
+    run.add_argument("--language", choices=["cuneiform", "dax", "galaxy", "trace", "cwl"],
+                     help="skip auto-detection")
+    run.add_argument("--workers", type=int, default=4)
+    run.add_argument("--masters", type=int, default=1)
+    run.add_argument("--node-type", choices=sorted(NODE_TYPES), default="m3.large")
+    run.add_argument("--scheduler", choices=SCHEDULER_NAMES, default="data-aware")
+    run.add_argument("--input", dest="inputs", type=_parse_size_spec,
+                     action="append", default=[], metavar="PATH=SIZE_MB",
+                     help="stage an input file (repeatable)")
+    run.add_argument("--bind", dest="bindings", type=_parse_binding,
+                     action="append", default=[], metavar="LABEL=PATH",
+                     help="bind a Galaxy input step to a staged file")
+    run.add_argument("--install", dest="tools", action="append", default=[],
+                     metavar="TOOL", help="install only these tools "
+                     "(default: every built-in profile)")
+    run.add_argument("--container-vcores", type=int, default=1)
+    run.add_argument("--container-memory-mb", type=float, default=1024.0)
+    run.add_argument("--containers-per-node", type=int, default=None)
+    run.add_argument("--backbone-mb-s", type=float, default=10_000.0)
+    run.add_argument("--trace-out", help="save the provenance trace here")
+    run.add_argument("--timeline", action="store_true",
+                     help="print an ASCII Gantt chart of the run")
+    run.add_argument("--quiet", action="store_true")
+    return parser
+
+
+def run_command(args) -> int:
+    """Execute the ``run`` subcommand; returns the exit code."""
+    with open(args.workflow, "r", encoding="utf-8") as handle:
+        text = handle.read()
+    kwargs = {}
+    if args.bindings:
+        kwargs["input_bindings"] = dict(args.bindings)
+    try:
+        source = parse_workflow(text, language=args.language, **kwargs)
+    except ReproError as error:
+        print(f"error: cannot parse workflow: {error}", file=sys.stderr)
+        return 2
+
+    env = Environment()
+    spec = ClusterSpec(
+        worker_spec=NODE_TYPES[args.node_type],
+        worker_count=args.workers,
+        master_count=args.masters,
+        backbone_mb_s=args.backbone_mb_s,
+    )
+    cluster = Cluster(env, spec)
+    hiway = HiWay(
+        cluster,
+        provenance_store=TraceFileStore(),
+        max_containers_per_node=args.containers_per_node,
+        config=HiWayConfig(
+            container_vcores=args.container_vcores,
+            container_memory_mb=args.container_memory_mb,
+            scheduler=args.scheduler,
+        ),
+    )
+    tools = args.tools or hiway.tools.names()
+    hiway.install_everywhere(*tools)
+    if args.inputs:
+        hiway.stage_inputs(dict(args.inputs))
+
+    result = hiway.run(source, scheduler=args.scheduler)
+    if not args.quiet:
+        status = "SUCCEEDED" if result.success else "FAILED"
+        print(f"workflow {result.name!r} {status} "
+              f"[{result.scheduler}, {args.workers} x {args.node_type}]")
+        print(f"  simulated runtime: {result.runtime_seconds:.1f}s "
+              f"({result.runtime_seconds / 60:.1f} min)")
+        print(f"  tasks completed:   {result.tasks_completed} "
+              f"(failures: {result.task_failures})")
+        for path, size_mb in sorted(result.output_files.items()):
+            print(f"  output: {path} ({size_mb:.1f} MB)")
+        for diagnostic in result.diagnostics:
+            print(f"  diagnostic: {diagnostic}")
+    if args.timeline:
+        from repro.core.timeline import render_timeline
+
+        print()
+        print(render_timeline(hiway.provenance.store,
+                              workflow_id=result.workflow_id))
+    if args.trace_out:
+        hiway.provenance.store.save(args.trace_out)
+        if not args.quiet:
+            print(f"  trace saved to {args.trace_out}")
+    return 0 if result.success else 1
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "run":
+        return run_command(args)
+    raise AssertionError("unreachable")  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

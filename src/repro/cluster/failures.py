@@ -1,0 +1,91 @@
+"""Deterministic failure injection for fault-tolerance experiments.
+
+Section 3.1 claims two recovery properties: failed tasks are re-tried on
+different compute nodes, and data survives storage-node crashes thanks
+to HDFS replication. This module schedules node crashes at seeded times
+so those claims can be exercised systematically rather than ad hoc.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Optional, TYPE_CHECKING
+
+from repro.sim.engine import Environment
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.hdfs.filesystem import HdfsClient
+    from repro.yarn.resourcemanager import ResourceManager
+
+__all__ = ["FailurePlan", "FailureInjector"]
+
+
+@dataclass(frozen=True)
+class FailurePlan:
+    """A schedule of node crashes."""
+
+    #: (simulated time, node id) pairs, executed in time order.
+    crashes: tuple[tuple[float, str], ...] = ()
+
+    @classmethod
+    def random_crashes(
+        cls,
+        worker_ids: list[str],
+        count: int,
+        horizon_seconds: float,
+        seed: int = 0,
+        spare: Optional[set[str]] = None,
+    ) -> "FailurePlan":
+        """Crash ``count`` distinct workers at random times before the
+        horizon, never touching nodes listed in ``spare``."""
+        rng = random.Random(seed)
+        eligible = [n for n in worker_ids if not spare or n not in spare]
+        if count > len(eligible):
+            raise ValueError(
+                f"cannot crash {count} of {len(eligible)} eligible nodes"
+            )
+        victims = rng.sample(eligible, count)
+        crashes = tuple(
+            sorted(
+                (rng.uniform(0.0, horizon_seconds), victim)
+                for victim in victims
+            )
+        )
+        return cls(crashes=crashes)
+
+
+@dataclass
+class FailureInjector:
+    """Executes a :class:`FailurePlan` against a running installation.
+
+    Crashing a node kills its containers (the RM reports them failed to
+    the AMs, which re-try elsewhere) and drops its HDFS replicas (reads
+    fall back to surviving replicas; files lose availability only when
+    every replica lived on crashed nodes).
+    """
+
+    env: Environment
+    rm: "ResourceManager"
+    hdfs: Optional["HdfsClient"] = None
+    crashed: list[str] = field(default_factory=list)
+
+    def arm(self, plan: FailurePlan) -> None:
+        """Schedule every crash in the plan."""
+        for at, node_id in plan.crashes:
+            self.env.process(self._crash_later(at, node_id))
+
+    def _crash_later(self, at: float, node_id: str):
+        delay = at - self.env.now
+        if delay > 0:
+            yield self.env.timeout(delay)
+        self.crash_now(node_id)
+
+    def crash_now(self, node_id: str) -> None:
+        """Immediately kill ``node_id`` (idempotent)."""
+        if node_id in self.crashed:
+            return
+        self.rm.crash_node(node_id)
+        if self.hdfs is not None:
+            self.hdfs.namenode.remove_datanode(node_id)
+        self.crashed.append(node_id)

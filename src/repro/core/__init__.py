@@ -1,0 +1,43 @@
+"""Hi-WAY core: client, application master, schedulers, provenance."""
+
+from repro.core.am import HiWayApplicationMaster, WorkflowResult
+from repro.core.client import HiWay
+from repro.core.config import HiWayConfig
+from repro.core.execution import TaskResult, run_task_in_container
+from repro.core.timeline import render_timeline
+from repro.core.provenance import (
+    DocumentProvenanceStore,
+    ProvenanceManager,
+    SqlProvenanceStore,
+    TraceFileStore,
+)
+from repro.core.schedulers import (
+    AdaptiveQueueScheduler,
+    DataAwareScheduler,
+    FcfsScheduler,
+    HeftScheduler,
+    RoundRobinScheduler,
+    SCHEDULER_NAMES,
+    make_scheduler,
+)
+
+__all__ = [
+    "HiWay",
+    "HiWayConfig",
+    "HiWayApplicationMaster",
+    "WorkflowResult",
+    "TaskResult",
+    "run_task_in_container",
+    "render_timeline",
+    "ProvenanceManager",
+    "TraceFileStore",
+    "SqlProvenanceStore",
+    "DocumentProvenanceStore",
+    "FcfsScheduler",
+    "AdaptiveQueueScheduler",
+    "DataAwareScheduler",
+    "RoundRobinScheduler",
+    "HeftScheduler",
+    "make_scheduler",
+    "SCHEDULER_NAMES",
+]

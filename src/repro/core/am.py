@@ -1,0 +1,442 @@
+"""The Hi-WAY Application Master (Sec. 3.1, 3.3).
+
+One AM instance runs per submitted workflow. It embeds the three
+components of Figure 1:
+
+* the **Workflow Driver** logic: track file availability, release tasks
+  whose data dependencies are met, dynamically register tasks discovered
+  when iterative workflows complete a task (Sec. 3.3);
+* the **Workflow Scheduler**: a pluggable policy asked to pick a task
+  whenever YARN allocates a container (Sec. 3.4);
+* the **Provenance Manager** hook-ups: every workflow/task/file event is
+  recorded (Sec. 3.5).
+
+Failed tasks are re-tried on different compute nodes up to a configured
+number of attempts (Sec. 3.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.cluster.cluster import Cluster
+from repro.core.config import HiWayConfig
+from repro.core.execution import TaskResult, run_task_in_container
+from repro.core.provenance.manager import ProvenanceManager
+from repro.core.schedulers import SchedulerContext, WorkflowScheduler, make_scheduler
+from repro.errors import WorkflowError
+from repro.hdfs.filesystem import HdfsClient
+from repro.tools.profile import ToolRegistry
+from repro.workflow.model import TaskSource, TaskSpec
+from repro.yarn.records import ContainerResource
+from repro.yarn.resourcemanager import ResourceManager
+
+__all__ = ["WorkflowResult", "HiWayApplicationMaster"]
+
+
+@dataclass
+class WorkflowResult:
+    """Terminal report of one workflow execution."""
+
+    workflow_id: str
+    name: str
+    scheduler: str
+    success: bool
+    started_at: float
+    finished_at: float
+    tasks_completed: int
+    task_failures: int
+    output_files: dict[str, float] = field(default_factory=dict)
+    diagnostics: list[str] = field(default_factory=list)
+
+    @property
+    def runtime_seconds(self) -> float:
+        return self.finished_at - self.started_at
+
+
+@dataclass
+class _TaskState:
+    """AM-side bookkeeping for one task."""
+
+    task: TaskSpec
+    attempts: int = 0
+    excluded_nodes: set[str] = field(default_factory=set)
+    dispatched: bool = False
+    completed: bool = False
+
+
+class HiWayApplicationMaster:
+    """Executes one workflow on the simulated YARN cluster."""
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        hdfs: HdfsClient,
+        rm: ResourceManager,
+        tools: ToolRegistry,
+        source: TaskSource,
+        provenance: ProvenanceManager,
+        scheduler: Optional[WorkflowScheduler | str] = None,
+        config: Optional[HiWayConfig] = None,
+        name: Optional[str] = None,
+    ):
+        self.env = cluster.env
+        self.cluster = cluster
+        self.hdfs = hdfs
+        self.rm = rm
+        self.tools = tools
+        self.source = source
+        self.provenance = provenance
+        self.config = config or HiWayConfig()
+        if scheduler is None:
+            scheduler = self.config.scheduler
+        if isinstance(scheduler, str):
+            scheduler = make_scheduler(scheduler)
+        self.scheduler = scheduler
+        self.name = name or getattr(source, "name", "workflow")
+        self.scheduler.bind(
+            SchedulerContext(
+                worker_ids=cluster.worker_ids, hdfs=hdfs, provenance=provenance
+            )
+        )
+        # AM host: the last master node, modelling the dedicated-AM
+        # machine of the Sec. 4.1 experiments (with a single master, the
+        # AM shares it with the Hadoop daemons).
+        am_node_id = self.config.am_node
+        if am_node_id is None:
+            am_node_id = cluster.masters[-1].node_id if cluster.masters else None
+        self._am_host = cluster.node(am_node_id) if am_node_id else None
+
+        self._states: dict[str, _TaskState] = {}
+        self._available: set[str] = set()
+        self._internal_outputs: set[str] = set()
+        #: Chains waiting for the RM to allocate a container.
+        self._awaiting = 0
+        #: Chains currently holding a container (task running).
+        self._running = 0
+        self._completed = 0
+        self._failures = 0
+        self._done = self.env.event()
+        self._diagnostics: list[str] = []
+        self._workflow_failed = False
+        self._app = None
+        self._workflow_id: Optional[str] = None
+        self._heartbeat_flow = None
+
+    # -- small helpers -----------------------------------------------------------
+
+    def _charge(self, work: float, label: str) -> None:
+        if self._am_host is not None and work > 0:
+            self._am_host.compute(work, threads=1, label=label)
+
+    def _resource_for(self, task: TaskSpec) -> ContainerResource:
+        if self.config.adaptive_container_sizing:
+            profile = self.tools.get(task.tool)
+            return ContainerResource(
+                vcores=min(profile.max_threads, self.cluster.spec.worker_spec.cores),
+                memory_mb=profile.memory_mb * 1.1,
+            )
+        return ContainerResource(
+            vcores=self.config.container_vcores,
+            memory_mb=self.config.container_memory_mb,
+        )
+
+    def _is_ready(self, state: _TaskState) -> bool:
+        # A file is available once produced by an earlier task of THIS
+        # run, or — for files no task of this workflow produces — when it
+        # already exists in storage (covers inputs that iterative
+        # languages discover after workflow onset). Files a task of this
+        # run will produce never count as available beforehand, even if a
+        # previous execution left a stale copy behind.
+        return all(
+            path in self._available
+            or (path not in self._internal_outputs and self.hdfs.exists(path))
+            for path in state.task.inputs
+        )
+
+    # -- main process -------------------------------------------------------------
+
+    def run(self):
+        """Generator process executing the whole workflow."""
+        started = self.env.now
+        self._app = self.rm.register_application(self.name)
+        self._workflow_id = self.provenance.workflow_started(self.name)
+        if self._am_host is not None:
+            # Container supervision / RM heartbeat load for the lifetime
+            # of the workflow, growing with cluster size (Fig. 6).
+            self._heartbeat_flow = self.cluster.network.start_flow(
+                size=None,
+                resources=[self._am_host.cpu],
+                cap=0.0005 * len(self.cluster.workers) + 0.001,
+                label=f"am-heartbeat:{self.name}",
+            )
+        try:
+            initial = self.source.initial_tasks()
+        except WorkflowError as error:
+            return self._finish(started, error=str(error))
+
+        # Verify the workflow's pre-existing inputs.
+        for path in self.source.input_files():
+            if not self.hdfs.exists(path):
+                return self._finish(started, error=f"missing input file {path!r}")
+            self._available.add(path)
+
+        if self.scheduler.is_static:
+            if not self.source.is_done():
+                return self._finish(
+                    started,
+                    error=(
+                        f"static scheduler {self.scheduler.name!r} cannot run "
+                        "iterative workflows (Sec. 3.4)"
+                    ),
+                )
+            self.scheduler.plan(initial)
+
+        self._register_tasks(initial)
+        if not self._states and self.source.is_done():
+            return self._finish(started)  # Empty workflow.
+        self._dispatch_ready()
+        if self._deadlocked():
+            return self._finish(started, error="workflow has no runnable tasks")
+
+        yield self._done
+        return self._finish(started)
+
+    def _finish(self, started: float, error: Optional[str] = None) -> WorkflowResult:
+        if error is not None:
+            self._diagnostics.append(error)
+            self._workflow_failed = True
+        success = not self._workflow_failed
+        if self._heartbeat_flow is not None:
+            self._heartbeat_flow.cancel()
+            self._heartbeat_flow = None
+        if self._app is not None:
+            self.rm.unregister_application(self._app)
+        finished = self.env.now
+        if self._workflow_id is not None:
+            self.provenance.workflow_finished(
+                self._workflow_id, self.name, finished - started, success
+            )
+        outputs: dict[str, float] = {}
+        if success:
+            for path in self.source.target_files():
+                if self.hdfs.exists(path):
+                    outputs[path] = self.hdfs.size_of(path)
+        return WorkflowResult(
+            workflow_id=self._workflow_id or "",
+            name=self.name,
+            scheduler=self.scheduler.name,
+            success=success,
+            started_at=started,
+            finished_at=finished,
+            tasks_completed=self._completed,
+            task_failures=self._failures,
+            output_files=outputs,
+            diagnostics=list(self._diagnostics),
+        )
+
+    # -- driver logic ---------------------------------------------------------------
+
+    def _register_tasks(self, tasks: list[TaskSpec]) -> None:
+        for task in tasks:
+            if task.task_id in self._states:
+                raise WorkflowError(f"duplicate task id {task.task_id!r}")
+            self._states[task.task_id] = _TaskState(task)
+            self._internal_outputs.update(task.outputs)
+
+    def _dispatch_ready(self) -> None:
+        """Enqueue every undispatched task whose inputs are available."""
+        for state in self._states.values():
+            if state.dispatched or state.completed:
+                continue
+            if not self._is_ready(state):
+                continue
+            state.dispatched = True
+            self._submit_attempt(state)
+
+    def _submit_attempt(self, state: _TaskState) -> None:
+        """Hand one attempt of ``state.task`` to the scheduler + RM."""
+        resource = self._resource_for(state.task)
+        if not self._fits_somewhere(resource):
+            self._diagnostics.append(
+                f"task {state.task.task_id}: container {resource} fits no node"
+            )
+            self._workflow_failed = True
+            self._check_done()
+            return
+        bound_task = None
+        if self.config.adaptive_container_sizing:
+            # A custom-tailored container only suits the task it was
+            # sized for, so the usual late binding at allocation time is
+            # replaced by a fixed request-to-task pairing.
+            bound_task = state.task
+        else:
+            self.scheduler.enqueue(state.task, frozenset(state.excluded_nodes))
+        placement = self.scheduler.placement_for(state.task)
+        request = self.rm.request_container(
+            self._app,
+            resource,
+            preferred_node=placement,
+            strict=placement is not None,
+        )
+        self._awaiting += 1
+        self.env.process(self._allocation_chain(request, resource, bound_task))
+
+    def _fits_somewhere(self, resource: ContainerResource) -> bool:
+        return any(
+            resource.vcores <= node.spec.cores
+            and resource.memory_mb <= node.spec.memory_mb
+            for node in self.cluster.workers
+            if node.alive
+        )
+
+    def _allocation_chain(self, request, resource: ContainerResource, bound_task=None):
+        """Wait for a container, bind a task to it, run it, react."""
+        container = yield request
+        self._awaiting -= 1
+        if self._workflow_failed:
+            self.rm.release_container(container)
+            return
+        self._charge(self.config.am_work_per_decision, "am-schedule")
+        if bound_task is not None:
+            task = bound_task
+        else:
+            task = self.scheduler.select_task(container.node_id)
+        if task is None:
+            # Nothing eligible for this node (e.g. all waiting tasks have
+            # excluded it after failures): give the container back and ask
+            # for a replacement so no queued task loses its request. The
+            # replacement waits one heartbeat cycle; an immediate re-ask
+            # could be served by the very same node within the same
+            # simulated instant, spinning forever.
+            self.rm.release_container(container)
+            if self.scheduler.pending_count() > 0:
+                yield self.env.timeout(1.0)
+                replacement = self.rm.request_container(self._app, resource)
+                self._awaiting += 1
+                self.env.process(self._allocation_chain(replacement, resource))
+            self._check_done()
+            return
+        self._running += 1
+        state = self._states[task.task_id]
+        state.attempts += 1
+        watcher = self.rm.node_managers[container.node_id].launch(
+            container,
+            run_task_in_container(
+                self.env, self.cluster, self.hdfs, self.tools, task, container
+            ),
+        )
+        outcome = yield watcher
+        self.rm.release_container(container)
+        self._running -= 1
+        if self._workflow_failed:
+            self._check_done()
+            return
+        if outcome.success:
+            self._on_task_success(state, outcome.value)
+        else:
+            self._on_task_failure(state, container.node_id, outcome.error)
+        self._check_done()
+
+    def _on_task_success(self, state: _TaskState, result: TaskResult) -> None:
+        task = state.task
+        state.completed = True
+        self._completed += 1
+        self.provenance.task_finished(
+            self._workflow_id,
+            task,
+            result.node_id,
+            result.makespan_seconds,
+            result.output_sizes,
+            success=True,
+            attempt=state.attempts,
+        )
+        for report in result.input_reports + result.output_reports:
+            self.provenance.file_moved(self._workflow_id, task, report)
+            self._charge(self.config.am_work_per_event, "am-provenance")
+        self._charge(self.config.am_work_per_event, "am-provenance")
+        self.scheduler.on_task_finished(
+            task, result.node_id, result.makespan_seconds, success=True
+        )
+        self._available.update(result.output_sizes)
+        discovered = self.source.on_task_completed(task, result.output_sizes)
+        if discovered:
+            self._register_tasks(discovered)
+        self._dispatch_ready()
+
+    def _on_task_failure(self, state: _TaskState, node_id: str, error) -> None:
+        task = state.task
+        self._failures += 1
+        self.provenance.task_finished(
+            self._workflow_id,
+            task,
+            node_id,
+            0.0,
+            {},
+            success=False,
+            attempt=state.attempts,
+            stderr=repr(error),
+        )
+        self.scheduler.on_task_finished(task, node_id, 0.0, success=False)
+        if state.attempts <= self.config.max_retries and not self._workflow_failed:
+            # Re-try on a different compute node (Sec. 3.1).
+            state.excluded_nodes.add(node_id)
+            alive = {
+                node.node_id for node in self.cluster.workers if node.alive
+            }
+            if alive <= state.excluded_nodes:
+                state.excluded_nodes.clear()  # every live node tried; start over
+            self._submit_attempt(state)
+        else:
+            self._diagnostics.append(
+                f"task {task.task_id} ({task.tool}) failed "
+                f"{state.attempts} time(s): {error!r}"
+            )
+            self._workflow_failed = True
+
+    def _deadlocked(self) -> bool:
+        """True when nothing runs, nothing can start, yet work remains."""
+        if self._running > 0 or self._awaiting > 0 or self._workflow_failed:
+            return False
+        unfinished = [s for s in self._states.values() if not s.completed]
+        if not unfinished:
+            return False
+        return all(not self._is_ready(s) for s in unfinished)
+
+    def _check_done(self) -> None:
+        if self._done.triggered:
+            return
+        if self._workflow_failed and self._running == 0:
+            self._done.succeed()
+            return
+        all_completed = self._states and all(
+            state.completed for state in self._states.values()
+        )
+        if (
+            all_completed
+            and self._running == 0
+            and self._awaiting == 0
+            and self.source.is_done()
+            and self.scheduler.pending_count() == 0
+        ):
+            self._done.succeed()
+        elif (
+            all_completed
+            and self._running == 0
+            and self._awaiting == 0
+            and not self.source.is_done()
+        ):
+            # The language frontend claims more tasks will come but emitted
+            # none on the last completion: the evaluation is stuck.
+            self._diagnostics.append(
+                "workflow source stalled without emitting further tasks"
+            )
+            self._workflow_failed = True
+            self._done.succeed()
+        elif self._deadlocked():
+            self._diagnostics.append(
+                "workflow stalled: remaining tasks have unsatisfiable inputs"
+            )
+            self._workflow_failed = True
+            self._done.succeed()

@@ -1,0 +1,112 @@
+"""The Hi-WAY client (Sec. 3.1).
+
+A light-weight entry point: each workflow submitted from the client
+results in a separate Hi-WAY AM instance being spawned. The
+:class:`HiWay` facade also wires up the surrounding installation
+(cluster, HDFS, YARN RM, tool registry, provenance store) with sensible
+defaults so examples and tests stay short.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.cluster.cluster import Cluster
+from repro.core.am import HiWayApplicationMaster, WorkflowResult
+from repro.core.config import HiWayConfig
+from repro.core.provenance.manager import ProvenanceManager
+from repro.core.provenance.stores import ProvenanceStore
+from repro.core.schedulers import WorkflowScheduler
+from repro.hdfs.filesystem import HdfsClient
+from repro.sim.engine import Process
+from repro.tools.generic import default_registry
+from repro.tools.profile import ToolRegistry
+from repro.workflow.model import TaskSource
+from repro.yarn.resourcemanager import ResourceManager
+
+__all__ = ["HiWay"]
+
+
+class HiWay:
+    """One Hi-WAY installation on one simulated cluster."""
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        hdfs: Optional[HdfsClient] = None,
+        rm: Optional[ResourceManager] = None,
+        tools: Optional[ToolRegistry] = None,
+        provenance_store: Optional[ProvenanceStore] = None,
+        config: Optional[HiWayConfig] = None,
+        max_containers_per_node: Optional[int] = None,
+    ):
+        self.cluster = cluster
+        self.env = cluster.env
+        self.hdfs = hdfs if hdfs is not None else HdfsClient(cluster)
+        self.rm = (
+            rm
+            if rm is not None
+            else ResourceManager(
+                self.env, cluster, max_containers_per_node=max_containers_per_node
+            )
+        )
+        self.tools = tools if tools is not None else default_registry()
+        self.config = config or HiWayConfig()
+        self.provenance = ProvenanceManager(self.env, provenance_store)
+
+    def submit(
+        self,
+        source: TaskSource,
+        scheduler: Optional[WorkflowScheduler | str] = None,
+        name: Optional[str] = None,
+        config: Optional[HiWayConfig] = None,
+    ) -> Process:
+        """Spawn a fresh AM for ``source``; returns its process.
+
+        The process's value is the :class:`WorkflowResult` once it ends.
+        """
+        am = HiWayApplicationMaster(
+            cluster=self.cluster,
+            hdfs=self.hdfs,
+            rm=self.rm,
+            tools=self.tools,
+            source=source,
+            provenance=self.provenance,
+            scheduler=scheduler,
+            config=config or self.config,
+            name=name,
+        )
+        return self.env.process(am.run())
+
+    def run(
+        self,
+        source: TaskSource,
+        scheduler: Optional[WorkflowScheduler | str] = None,
+        name: Optional[str] = None,
+        config: Optional[HiWayConfig] = None,
+    ) -> WorkflowResult:
+        """Submit ``source`` and drive the simulation to its completion."""
+        process = self.submit(source, scheduler=scheduler, name=name, config=config)
+        self.env.run(until=process)
+        return process.value
+
+    # -- convenience used by workloads and examples -----------------------------
+
+    def install_everywhere(self, *tool_names: str) -> None:
+        """Install the named tools on every node (workers and masters)."""
+        for node in self.cluster.all_nodes():
+            node.install(*tool_names)
+
+    def stage_input(self, path: str, size_mb: float, writer: Optional[str] = None):
+        """Generator process placing an input file into HDFS."""
+        node_id = writer or self.cluster.worker_ids[0]
+        return self.hdfs.write(path, size_mb, node_id)
+
+    def stage_inputs(self, files: dict[str, float], seed: int = 0) -> None:
+        """Synchronously materialise input files into HDFS.
+
+        This is setup machinery (the paper does it with Chef recipes), so
+        it runs the simulation clock forward over the staging writes.
+        See :meth:`HdfsClient.stage_many` for the writer-placement rule.
+        """
+        self.hdfs.stage_many(files, seed=seed)

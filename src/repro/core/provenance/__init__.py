@@ -1,0 +1,33 @@
+"""Provenance recording, storage backends, and scheduler statistics."""
+
+from repro.core.provenance.events import (
+    FILE_EVENT,
+    TASK_EVENT,
+    WORKFLOW_EVENT,
+    FileEvent,
+    TaskEvent,
+    WorkflowEvent,
+    event_from_dict,
+)
+from repro.core.provenance.manager import ProvenanceManager
+from repro.core.provenance.stores import (
+    DocumentProvenanceStore,
+    ProvenanceStore,
+    SqlProvenanceStore,
+    TraceFileStore,
+)
+
+__all__ = [
+    "ProvenanceManager",
+    "ProvenanceStore",
+    "TraceFileStore",
+    "SqlProvenanceStore",
+    "DocumentProvenanceStore",
+    "WorkflowEvent",
+    "TaskEvent",
+    "FileEvent",
+    "event_from_dict",
+    "WORKFLOW_EVENT",
+    "TASK_EVENT",
+    "FILE_EVENT",
+]

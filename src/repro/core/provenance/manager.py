@@ -1,0 +1,193 @@
+"""The Provenance Manager (Sec. 3.5).
+
+Surveys workflow execution, registers events at workflow, task and file
+granularity in a pluggable store, and serves the Workflow Scheduler with
+up-to-date runtime statistics. The recorded trace holds everything
+needed to re-run the workflow, which is why Hi-WAY counts its own traces
+as a fourth workflow language.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Optional
+
+from repro.core.provenance.events import FileEvent, TaskEvent, WorkflowEvent
+from repro.core.provenance.stores import ProvenanceStore, TraceFileStore
+from repro.hdfs.filesystem import FileTransferReport
+from repro.sim.engine import Environment
+from repro.workflow.model import TaskSpec
+
+__all__ = ["ProvenanceManager"]
+
+_workflow_ids = itertools.count(1)
+
+
+class ProvenanceManager:
+    """Records execution events and answers runtime-estimate queries."""
+
+    def __init__(self, env: Environment, store: Optional[ProvenanceStore] = None):
+        self.env = env
+        self.store = store if store is not None else TraceFileStore()
+
+    # -- recording -------------------------------------------------------------
+
+    def workflow_started(self, name: str) -> str:
+        """Open a workflow record; returns the fresh workflow id."""
+        workflow_id = f"workflow-{next(_workflow_ids):06d}"
+        self.store.append(
+            WorkflowEvent(
+                workflow_id=workflow_id,
+                workflow_name=name,
+                timestamp=self.env.now,
+                phase="start",
+            )
+        )
+        return workflow_id
+
+    def workflow_finished(
+        self, workflow_id: str, name: str, runtime_seconds: float, success: bool
+    ) -> None:
+        """Close a workflow record with its total execution time."""
+        self.store.append(
+            WorkflowEvent(
+                workflow_id=workflow_id,
+                workflow_name=name,
+                timestamp=self.env.now,
+                phase="end",
+                runtime_seconds=runtime_seconds,
+                success=success,
+            )
+        )
+
+    def task_finished(
+        self,
+        workflow_id: str,
+        task: TaskSpec,
+        node_id: str,
+        makespan_seconds: float,
+        output_sizes: dict[str, float],
+        success: bool,
+        attempt: int,
+        stderr: str = "",
+    ) -> None:
+        """Record one task attempt's outcome."""
+        self.store.append(
+            TaskEvent(
+                workflow_id=workflow_id,
+                task_id=task.task_id,
+                signature=task.signature,
+                tool=task.tool,
+                command=task.command,
+                node_id=node_id,
+                timestamp=self.env.now,
+                makespan_seconds=makespan_seconds,
+                inputs=list(task.inputs),
+                outputs=list(task.outputs),
+                output_sizes=dict(output_sizes),
+                success=success,
+                attempt=attempt,
+                stdout="" if not success else f"{task.tool}: ok",
+                stderr=stderr,
+            )
+        )
+
+    def file_moved(
+        self, workflow_id: str, task: TaskSpec, report: FileTransferReport
+    ) -> None:
+        """Record a stage-in or stage-out of one file."""
+        self.store.append(
+            FileEvent(
+                workflow_id=workflow_id,
+                task_id=task.task_id,
+                path=report.path,
+                size_mb=report.size_mb,
+                transfer_seconds=report.seconds,
+                direction=report.direction,
+                node_id=report.node_id,
+                timestamp=self.env.now,
+                local_fraction=report.local_fraction,
+            )
+        )
+
+    # -- scheduler queries (Sec. 3.4) --------------------------------------------
+
+    def runtime_estimate(self, signature: str, node_id: str) -> float:
+        """Expected runtime of ``signature`` on ``node_id``.
+
+        The paper's strategy: always use the latest observed runtime; if
+        the pair has never been observed, assume zero "to encourage
+        trying out new assignments".
+        """
+        latest = self.store.latest_task_runtime(signature, node_id)
+        return 0.0 if latest is None else latest
+
+    def has_observation(self, signature: str, node_id: str) -> bool:
+        """Whether the (signature, node) pair has been observed at all."""
+        return self.store.latest_task_runtime(signature, node_id) is not None
+
+    def mean_runtime(self, signature: str, node_ids: list[str]) -> float:
+        """Mean estimate across ``node_ids`` (used for HEFT ranks)."""
+        if not node_ids:
+            return 0.0
+        return sum(self.runtime_estimate(signature, n) for n in node_ids) / len(
+            node_ids
+        )
+
+    def workflow_summary(self, workflow_id: str) -> dict:
+        """Aggregate one run's provenance into a report dictionary.
+
+        Per task signature: invocation count, mean/max makespan, nodes
+        used; plus the run's total data moved in and out of HDFS. The
+        kind of query the paper highlights database-backed provenance
+        stores for.
+        """
+        tasks = self.store.records(kind="task", workflow_id=workflow_id)
+        files = self.store.records(kind="file", workflow_id=workflow_id)
+        by_signature: dict[str, dict] = {}
+        for record in tasks:
+            if not record["success"]:
+                continue
+            entry = by_signature.setdefault(record["signature"], {
+                "count": 0, "total_seconds": 0.0, "max_seconds": 0.0,
+                "nodes": set(),
+            })
+            entry["count"] += 1
+            entry["total_seconds"] += record["makespan_seconds"]
+            entry["max_seconds"] = max(
+                entry["max_seconds"], record["makespan_seconds"]
+            )
+            entry["nodes"].add(record["node_id"])
+        for entry in by_signature.values():
+            entry["mean_seconds"] = entry["total_seconds"] / entry["count"]
+            entry["nodes"] = sorted(entry["nodes"])
+        return {
+            "workflow_id": workflow_id,
+            "tasks_succeeded": sum(1 for r in tasks if r["success"]),
+            "tasks_failed": sum(1 for r in tasks if not r["success"]),
+            "signatures": by_signature,
+            "stage_in_mb": sum(
+                r["size_mb"] for r in files if r["direction"] == "in"
+            ),
+            "stage_out_mb": sum(
+                r["size_mb"] for r in files if r["direction"] == "out"
+            ),
+            "remote_in_mb": sum(
+                r["size_mb"] * (1 - r["local_fraction"])
+                for r in files
+                if r["direction"] == "in"
+            ),
+        }
+
+    # -- trace export ---------------------------------------------------------------
+
+    def trace_jsonl(self) -> str:
+        """The full trace as JSON lines (re-executable, Sec. 3.5).
+
+        Only available for stores that retain raw records; all built-in
+        stores do.
+        """
+        records = self.store.records()
+        import json
+
+        return "\n".join(json.dumps(record, sort_keys=True) for record in records)

@@ -1,0 +1,53 @@
+"""Hi-WAY's workflow scheduling policies (Sec. 3.4)."""
+
+from repro.core.schedulers.adaptive_queue import AdaptiveQueueScheduler
+from repro.core.schedulers.base import (
+    QueueScheduler,
+    SchedulerContext,
+    WorkflowScheduler,
+)
+from repro.core.schedulers.data_aware import DataAwareScheduler
+from repro.core.schedulers.fcfs import FcfsScheduler
+from repro.core.schedulers.heft import HeftScheduler
+from repro.core.schedulers.round_robin import RoundRobinScheduler
+from repro.core.schedulers.static_base import StaticScheduler
+from repro.errors import SchedulingError
+
+__all__ = [
+    "AdaptiveQueueScheduler",
+    "WorkflowScheduler",
+    "QueueScheduler",
+    "StaticScheduler",
+    "SchedulerContext",
+    "FcfsScheduler",
+    "DataAwareScheduler",
+    "RoundRobinScheduler",
+    "HeftScheduler",
+    "make_scheduler",
+    "SCHEDULER_NAMES",
+]
+
+_FACTORIES = {
+    "adaptive-queue": AdaptiveQueueScheduler,
+    "adaptive_queue": AdaptiveQueueScheduler,
+    "fcfs": FcfsScheduler,
+    "data-aware": DataAwareScheduler,
+    "data_aware": DataAwareScheduler,
+    "round-robin": RoundRobinScheduler,
+    "round_robin": RoundRobinScheduler,
+    "heft": HeftScheduler,
+}
+
+#: Canonical policy names accepted by :func:`make_scheduler`.
+SCHEDULER_NAMES = ("fcfs", "data-aware", "round-robin", "heft", "adaptive-queue")
+
+
+def make_scheduler(name: str) -> WorkflowScheduler:
+    """Instantiate a scheduling policy by name."""
+    try:
+        factory = _FACTORIES[name.lower()]
+    except KeyError:
+        raise SchedulingError(
+            f"unknown scheduler {name!r}; choose one of {SCHEDULER_NAMES}"
+        ) from None
+    return factory()

@@ -1,0 +1,66 @@
+"""A non-static adaptive scheduling policy.
+
+Section 3.4 notes that "additional (non-static) adaptive scheduling
+policies are in the process of being integrated" into Hi-WAY. This
+module implements the natural member of that family as an extension:
+a *queue* scheduler (late binding, so it remains compatible with
+iterative workflows — unlike HEFT) that consults the same
+provenance-fed runtime estimates HEFT uses.
+
+Placement rule: for a container on node *n*, prefer the waiting task
+whose estimated runtime on *n* is smallest **relative to its mean
+estimate across all nodes** — i.e. run each task where it runs
+comparatively well. Unobserved (task, node) pairs default to zero as in
+HEFT, preserving the exploration behaviour; locality breaks ties among
+equally suited tasks when an HDFS client is available.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.schedulers.base import QueueScheduler
+from repro.errors import SchedulingError
+from repro.workflow.model import TaskSpec
+
+__all__ = ["AdaptiveQueueScheduler"]
+
+
+class AdaptiveQueueScheduler(QueueScheduler):
+    """Provenance-driven late-binding scheduler (iterative-compatible)."""
+
+    name = "adaptive-queue"
+
+    def select_task(self, node_id: str) -> Optional[TaskSpec]:
+        context = self._require_context()
+        if context.provenance is None:
+            raise SchedulingError(
+                "adaptive-queue scheduling needs a provenance manager"
+            )
+        eligible = self._eligible_indices(node_id)
+        if not eligible:
+            return None
+        provenance = context.provenance
+        workers = context.worker_ids
+
+        best_index = eligible[0]
+        best_key: Optional[tuple[float, float]] = None
+        for index in eligible:
+            task = self._queue[index].task
+            here = provenance.runtime_estimate(task.signature, node_id)
+            if not provenance.has_observation(task.signature, node_id):
+                # Exploration: never-observed pairs look maximally
+                # attractive, exactly as in HEFT's zero default.
+                suitability = 0.0
+            else:
+                mean = provenance.mean_runtime(task.signature, workers)
+                suitability = here / mean if mean > 0 else 1.0
+            locality = 0.0
+            if context.hdfs is not None:
+                locality = context.hdfs.local_fraction(task.inputs, node_id)
+            key = (suitability, -locality)
+            # Strictly-smaller keeps FIFO order among exact ties.
+            if best_key is None or key < best_key:
+                best_key = key
+                best_index = index
+        return self._take(best_index)

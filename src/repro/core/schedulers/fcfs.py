@@ -1,0 +1,27 @@
+"""First-come-first-served scheduling.
+
+The policy "most established SWfMSs employ" (Sec. 3.4): ready tasks form
+a queue; whenever a container becomes available, the task at the head is
+dispatched, regardless of where the container lives.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.schedulers.base import QueueScheduler
+from repro.workflow.model import TaskSpec
+
+__all__ = ["FcfsScheduler"]
+
+
+class FcfsScheduler(QueueScheduler):
+    """Plain FIFO queue over ready tasks."""
+
+    name = "fcfs"
+
+    def select_task(self, node_id: str) -> Optional[TaskSpec]:
+        eligible = self._eligible_indices(node_id)
+        if not eligible:
+            return None
+        return self._take(eligible[0])

@@ -1,0 +1,26 @@
+"""Static round-robin scheduling (Sec. 3.4).
+
+Assigns tasks in turn — and thus in equal numbers — to the available
+compute nodes, ignoring both data locality and node performance. The
+basic representative of the static family.
+"""
+
+from __future__ import annotations
+
+from repro.core.schedulers.static_base import StaticScheduler
+from repro.workflow.model import TaskSpec
+
+__all__ = ["RoundRobinScheduler"]
+
+
+class RoundRobinScheduler(StaticScheduler):
+    """Cycles through the workers in task order."""
+
+    name = "round-robin"
+
+    def _build_assignment(self, tasks: list[TaskSpec]) -> dict[str, str]:
+        workers = self._require_context().worker_ids
+        return {
+            task.task_id: workers[index % len(workers)]
+            for index, task in enumerate(tasks)
+        }

@@ -1,0 +1,86 @@
+"""Shared machinery of the static scheduling policies (Sec. 3.4).
+
+Static policies pre-build the full task-to-node assignment at workflow
+onset and enforce container placement accordingly. Because the complete
+invocation graph must be deducible before execution starts, they cannot
+be combined with iterative languages (the AM enforces this).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Optional
+
+from repro.core.schedulers.base import WorkflowScheduler
+from repro.errors import SchedulingError
+from repro.workflow.model import TaskSpec
+
+__all__ = ["StaticScheduler"]
+
+
+class StaticScheduler(WorkflowScheduler):
+    """Base for policies with a pre-built schedule."""
+
+    is_static = True
+    name = "static"
+
+    def __init__(self):
+        super().__init__()
+        #: task_id -> assigned node.
+        self.assignment: dict[str, str] = {}
+        #: node -> FIFO of ready tasks placed there.
+        self._ready: dict[str, deque[TaskSpec]] = {}
+        self._planned = False
+
+    # -- planning ---------------------------------------------------------------
+
+    def plan(self, tasks: list[TaskSpec]) -> None:
+        """Build the full schedule; subclasses fill ``self.assignment``."""
+        context = self._require_context()
+        if not context.worker_ids:
+            raise SchedulingError(f"{self.name}: no worker nodes to plan onto")
+        self.assignment = self._build_assignment(tasks)
+        missing = [t.task_id for t in tasks if t.task_id not in self.assignment]
+        if missing:
+            raise SchedulingError(f"{self.name}: unplaced tasks: {missing}")
+        self._ready = {node: deque() for node in context.worker_ids}
+        self._planned = True
+
+    def _build_assignment(self, tasks: list[TaskSpec]) -> dict[str, str]:
+        raise NotImplementedError  # pragma: no cover - interface
+
+    def placement_for(self, task: TaskSpec) -> Optional[str]:
+        if not self._planned:
+            raise SchedulingError(f"{self.name}: placement queried before plan()")
+        try:
+            return self.assignment[task.task_id]
+        except KeyError:
+            raise SchedulingError(
+                f"{self.name}: task {task.task_id!r} not in schedule "
+                "(static policies cannot handle dynamically discovered tasks)"
+            ) from None
+
+    # -- queue protocol ------------------------------------------------------------
+
+    def enqueue(self, task: TaskSpec, excluded_nodes: frozenset[str] = frozenset()) -> None:
+        node = self.placement_for(task)
+        if node in excluded_nodes:
+            # A retry after failure: fall over to the next planned node.
+            context = self._require_context()
+            alternatives = [n for n in context.worker_ids if n not in excluded_nodes]
+            if not alternatives:
+                raise SchedulingError(
+                    f"{self.name}: no nodes left for {task.task_id!r}"
+                )
+            node = alternatives[0]
+            self.assignment[task.task_id] = node
+        self._ready[node].append(task)
+
+    def pending_count(self) -> int:
+        return sum(len(queue) for queue in self._ready.values())
+
+    def select_task(self, node_id: str) -> Optional[TaskSpec]:
+        queue = self._ready.get(node_id)
+        if not queue:
+            return None
+        return queue.popleft()

@@ -1,0 +1,88 @@
+"""Exception hierarchy shared across the repro package.
+
+All library-specific errors derive from :class:`ReproError` so that callers
+can catch everything raised by this package with a single except clause.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class SimulationError(ReproError):
+    """Raised for inconsistencies inside the discrete-event kernel."""
+
+
+class Interrupt(ReproError):
+    """Thrown into a simulation process that is interrupted.
+
+    Mirrors SimPy's ``Interrupt``: the ``cause`` attribute carries the value
+    passed to :meth:`repro.sim.engine.Process.interrupt`.
+    """
+
+    def __init__(self, cause: object = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class HdfsError(ReproError):
+    """Raised for HDFS namespace or replication problems."""
+
+
+class FileNotFoundInHdfs(HdfsError):
+    """Raised when a path is opened that does not exist in the namespace."""
+
+
+class YarnError(ReproError):
+    """Raised for YARN protocol violations or resource exhaustion."""
+
+
+class ContainerError(YarnError):
+    """Raised when a container fails during launch or execution."""
+
+
+class WorkflowError(ReproError):
+    """Raised for malformed workflow definitions."""
+
+
+class LanguageError(WorkflowError):
+    """Raised when a workflow file cannot be parsed."""
+
+
+class CuneiformError(LanguageError):
+    """Raised for syntax or evaluation errors in Cuneiform scripts."""
+
+
+class SchedulingError(ReproError):
+    """Raised when a scheduler is asked for an impossible placement."""
+
+
+class ProvenanceError(ReproError):
+    """Raised for malformed or inconsistent provenance records."""
+
+
+class TaskFailure(ReproError):
+    """Raised inside the engine when a task attempt fails.
+
+    Attributes mirror what Hi-WAY reports for a failed container: the task,
+    the node it ran on, and a human-readable diagnostic.
+    """
+
+    def __init__(self, message: str, task_id: object = None, node: str | None = None):
+        super().__init__(message)
+        self.task_id = task_id
+        self.node = node
+
+
+class ToolNotInstalled(TaskFailure):
+    """A task was placed on a node that lacks one of its executables."""
+
+
+class OutOfMemory(TaskFailure):
+    """A task exceeded the memory of the container it ran in."""
+
+
+class RecipeError(ReproError):
+    """Raised when a Chef-style recipe cannot be applied."""

@@ -1,0 +1,40 @@
+"""Reproductions of every table and figure in the paper's evaluation."""
+
+from repro.experiments.common import ExperimentTable, mean, median, minutes, std
+from repro.experiments.fig4 import Fig4Config, run_fig4
+from repro.experiments.fig6 import Fig6Config, run_fig6
+from repro.experiments.fig8 import Fig8Config, run_fig8
+from repro.experiments.fig9 import Fig9Config, run_fig9
+from repro.experiments.table1 import run_table1
+from repro.experiments.table2 import Table2Config, run_table2
+
+__all__ = [
+    "ExperimentTable",
+    "mean",
+    "median",
+    "std",
+    "minutes",
+    "run_table1",
+    "run_fig4",
+    "Fig4Config",
+    "run_table2",
+    "Table2Config",
+    "run_fig6",
+    "Fig6Config",
+    "run_fig8",
+    "Fig8Config",
+    "run_fig9",
+    "Fig9Config",
+    "EXPERIMENTS",
+]
+
+#: experiment id -> callable(quick: bool) -> ExperimentTable
+EXPERIMENTS = {
+    "table1": lambda quick=False: run_table1(),
+    "fig4": lambda quick=False: run_fig4(quick=quick),
+    "table2": lambda quick=False: run_table2(quick=quick),
+    "fig5": lambda quick=False: run_table2(quick=quick),  # same series
+    "fig6": lambda quick=False: run_fig6(quick=quick),
+    "fig8": lambda quick=False: run_fig8(quick=quick),
+    "fig9": lambda quick=False: run_fig9(quick=quick),
+}

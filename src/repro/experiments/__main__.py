@@ -1,0 +1,45 @@
+"""Command-line entry point: regenerate any of the paper's results.
+
+Usage::
+
+    python -m repro.experiments table1
+    python -m repro.experiments fig4 --quick
+    python -m repro.experiments all --quick
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments import EXPERIMENTS
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the tables and figures of the Hi-WAY paper.",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(EXPERIMENTS) + ["all"],
+        help="which table/figure to regenerate",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="run the laptop-sized variant (same shape, smaller scale)",
+    )
+    args = parser.parse_args(argv)
+    names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        started = time.time()
+        table = EXPERIMENTS[name](quick=args.quick)
+        print(table.format())
+        print(f"(regenerated in {time.time() - started:.1f}s)\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

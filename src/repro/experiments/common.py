@@ -1,0 +1,102 @@
+"""Shared machinery of the experiment reproductions (Sec. 4)."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Sequence
+
+__all__ = ["ExperimentTable", "mean", "std", "median", "minutes"]
+
+
+def mean(values: Sequence[float]) -> float:
+    """Arithmetic mean (0 for an empty sequence)."""
+    values = list(values)
+    return sum(values) / len(values) if values else 0.0
+
+
+def std(values: Sequence[float]) -> float:
+    """Sample standard deviation (0 for fewer than two values)."""
+    values = list(values)
+    if len(values) < 2:
+        return 0.0
+    centre = mean(values)
+    return math.sqrt(sum((v - centre) ** 2 for v in values) / (len(values) - 1))
+
+
+def median(values: Sequence[float]) -> float:
+    """Median (0 for an empty sequence)."""
+    ordered = sorted(values)
+    if not ordered:
+        return 0.0
+    middle = len(ordered) // 2
+    if len(ordered) % 2:
+        return ordered[middle]
+    return (ordered[middle - 1] + ordered[middle]) / 2.0
+
+
+def minutes(seconds: float) -> float:
+    """Seconds -> minutes."""
+    return seconds / 60.0
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 100:
+            return f"{value:.1f}"
+        if abs(value) >= 1:
+            return f"{value:.2f}"
+        return f"{value:.4f}"
+    return str(value)
+
+
+@dataclass
+class ExperimentTable:
+    """One regenerated table or figure series, printable as text."""
+
+    experiment_id: str
+    title: str
+    columns: list[str]
+    rows: list[list] = field(default_factory=list)
+    notes: str = ""
+
+    def add_row(self, *values) -> None:
+        if len(values) != len(self.columns):
+            raise ValueError(
+                f"{self.experiment_id}: row width {len(values)} != "
+                f"{len(self.columns)} columns"
+            )
+        self.rows.append(list(values))
+
+    def column(self, name: str) -> list:
+        """All values of one column, by header name."""
+        index = self.columns.index(name)
+        return [row[index] for row in self.rows]
+
+    def format(self) -> str:
+        """Fixed-width text rendering (what the benchmarks print)."""
+        cells = [self.columns] + [[_fmt(v) for v in row] for row in self.rows]
+        widths = [
+            max(len(row[i]) for row in cells) for i in range(len(self.columns))
+        ]
+        lines = [f"== {self.experiment_id}: {self.title} =="]
+        header = "  ".join(c.ljust(widths[i]) for i, c in enumerate(self.columns))
+        lines.append(header)
+        lines.append("-" * len(header))
+        for row in cells[1:]:
+            lines.append("  ".join(v.rjust(widths[i]) for i, v in enumerate(row)))
+        if self.notes:
+            lines.append(f"note: {self.notes}")
+        return "\n".join(lines)
+
+    def to_markdown(self) -> str:
+        """GitHub-flavoured markdown rendering (used by EXPERIMENTS.md)."""
+        lines = [
+            "| " + " | ".join(self.columns) + " |",
+            "|" + "|".join("---" for _ in self.columns) + "|",
+        ]
+        for row in self.rows:
+            lines.append("| " + " | ".join(_fmt(v) for v in row) + " |")
+        return "\n".join(lines)

@@ -1,0 +1,125 @@
+"""Figure 9: adaptive (HEFT) scheduling of Montage on a heterogeneous
+cluster (Sec. 4.3).
+
+A 0.25-degree Montage DAX workflow runs on eleven m3.large workers plus
+one master. Ten workers are perturbed with ``stress``: five with 1, 4,
+16, 64, 256 CPU hogs, five with the same counts of disk writers. One
+experiment run consists of (i) one FCFS execution as the baseline and
+(ii) twenty consecutive HEFT executions over which provenance — and
+with it the runtime-estimate picture — accumulates; provenance is wiped
+between experiment runs. The paper's expected dynamics:
+
+* HEFT without provenance is *worse* than FCFS (static placement cannot
+  react to stragglers);
+* one prior run already flips the comparison;
+* estimates are complete once every task signature has run on all
+  eleven workers (around run 11), after which runtimes are both lowest
+  and most stable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.cluster import Cluster, ClusterSpec, M3_LARGE, apply_stress, paper_fig9_stress
+from repro.core import HeftScheduler, HiWay, HiWayConfig
+from repro.core.provenance import TraceFileStore
+from repro.experiments.common import ExperimentTable, median, std
+from repro.hdfs import HdfsClient
+from repro.langs import DaxSource
+from repro.sim import Environment
+from repro.workloads import MONTAGE_TOOLS, montage_dax, montage_inputs
+from repro.yarn import ResourceManager
+
+__all__ = ["Fig9Config", "run_fig9"]
+
+
+@dataclass(frozen=True)
+class Fig9Config:
+    """Parameters of the Figure 9 reproduction."""
+
+    degree: float = 0.25
+    worker_count: int = 11
+    consecutive_heft_runs: int = 20
+    experiment_repeats: int = 80
+
+    @classmethod
+    def quick(cls) -> "Fig9Config":
+        return cls(consecutive_heft_runs=12, experiment_repeats=5)
+
+
+def _fresh_installation(config: Fig9Config, seed: int, store) -> HiWay:
+    env = Environment()
+    spec = ClusterSpec(
+        worker_spec=M3_LARGE, worker_count=config.worker_count, master_count=1
+    )
+    cluster = Cluster(env, spec)
+    apply_stress(cluster, paper_fig9_stress(cluster.worker_ids))
+    hdfs = HdfsClient(cluster, seed=seed)
+    rm = ResourceManager(env, cluster, max_containers_per_node=1)
+    hiway = HiWay(
+        cluster,
+        hdfs=hdfs,
+        rm=rm,
+        provenance_store=store,
+        config=HiWayConfig(container_vcores=1, container_memory_mb=1024.0),
+    )
+    hiway.install_everywhere(*MONTAGE_TOOLS)
+    hiway.stage_inputs(montage_inputs(config.degree), seed=seed)
+    return hiway
+
+
+def _one_experiment(config: Fig9Config, seed: int) -> tuple[float, list[float]]:
+    """One experiment: an FCFS baseline plus N consecutive HEFT runs.
+
+    All executions share a cluster/installation (stress persists across
+    workflow runs on real hardware too); provenance starts empty.
+    """
+    store = TraceFileStore()
+    hiway = _fresh_installation(config, seed, store)
+    dax = montage_dax(config.degree)
+    fcfs_result = hiway.run(DaxSource(dax), scheduler="fcfs")
+    assert fcfs_result.success, fcfs_result.diagnostics
+    fcfs_runtime = fcfs_result.runtime_seconds
+    # The FCFS baseline must not seed the HEFT estimates.
+    store.clear()
+    heft_runtimes = []
+    for run_index in range(config.consecutive_heft_runs):
+        scheduler = HeftScheduler(seed=seed * 1000 + run_index)
+        result = hiway.run(DaxSource(dax), scheduler=scheduler)
+        assert result.success, result.diagnostics
+        heft_runtimes.append(result.runtime_seconds)
+    return fcfs_runtime, heft_runtimes
+
+
+def run_fig9(config: Optional[Fig9Config] = None, quick: bool = False) -> ExperimentTable:
+    """Regenerate the Figure 9 series.
+
+    Row ``prior_runs=k`` is the HEFT execution that had k prior runs of
+    provenance available; the FCFS baseline is reported alongside.
+    """
+    if config is None:
+        config = Fig9Config.quick() if quick else Fig9Config()
+    fcfs_runtimes = []
+    heft_by_index: list[list[float]] = [
+        [] for _ in range(config.consecutive_heft_runs)
+    ]
+    for seed in range(config.experiment_repeats):
+        fcfs_runtime, heft_runtimes = _one_experiment(config, seed)
+        fcfs_runtimes.append(fcfs_runtime)
+        for index, runtime in enumerate(heft_runtimes):
+            heft_by_index[index].append(runtime)
+    table = ExperimentTable(
+        experiment_id="fig9",
+        title="Montage on a stressed cluster: HEFT vs FCFS over provenance",
+        columns=["prior_runs", "heft_median_s", "heft_std_s", "fcfs_median_s"],
+        notes=(
+            f"{config.worker_count} stressed m3.large workers, Montage "
+            f"{config.degree} deg, {config.experiment_repeats} repeat(s)"
+        ),
+    )
+    fcfs_median = median(fcfs_runtimes)
+    for index, runtimes in enumerate(heft_by_index):
+        table.add_row(index, median(runtimes), std(runtimes), fcfs_median)
+    return table

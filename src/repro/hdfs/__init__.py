@@ -1,0 +1,25 @@
+"""Simulated HDFS: NameNode metadata, block placement, data transfers."""
+
+from repro.hdfs.blocks import (
+    Block,
+    BlockPlacementPolicy,
+    DEFAULT_BLOCK_SIZE_MB,
+    DefaultPlacementPolicy,
+    HdfsFile,
+    RackAwarePlacementPolicy,
+)
+from repro.hdfs.filesystem import FileTransferReport, HdfsClient, S3_PREFIX
+from repro.hdfs.namenode import NameNode
+
+__all__ = [
+    "Block",
+    "HdfsFile",
+    "BlockPlacementPolicy",
+    "DefaultPlacementPolicy",
+    "RackAwarePlacementPolicy",
+    "DEFAULT_BLOCK_SIZE_MB",
+    "NameNode",
+    "HdfsClient",
+    "FileTransferReport",
+    "S3_PREFIX",
+]

@@ -1,0 +1,29 @@
+"""Workflow language frontends: Cuneiform, DAX, Galaxy, traces."""
+
+from repro.langs.base import (
+    LANGUAGES,
+    detect_language,
+    parse_workflow,
+    register_language,
+)
+from repro.langs.cuneiform import CuneiformSource
+from repro.langs.cwl import CwlSource, parse_cwl
+from repro.langs.dax import DaxSource, parse_dax
+from repro.langs.galaxy import GalaxySource, parse_galaxy
+from repro.langs.tracelang import TraceSource, parse_trace
+
+__all__ = [
+    "parse_workflow",
+    "detect_language",
+    "register_language",
+    "LANGUAGES",
+    "CuneiformSource",
+    "CwlSource",
+    "parse_cwl",
+    "DaxSource",
+    "parse_dax",
+    "GalaxySource",
+    "parse_galaxy",
+    "TraceSource",
+    "parse_trace",
+]

@@ -1,0 +1,8 @@
+"""Cuneiform: a minimal functional workflow language (iterative)."""
+
+from repro.langs.cuneiform.ast import Script, TaskDef
+from repro.langs.cuneiform.interp import CuneiformSource
+from repro.langs.cuneiform.lexer import tokenize
+from repro.langs.cuneiform.parser import parse
+
+__all__ = ["CuneiformSource", "parse", "tokenize", "Script", "TaskDef"]

@@ -1,0 +1,158 @@
+"""Abstract syntax tree of the Cuneiform subset."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+__all__ = [
+    "Expr",
+    "Str",
+    "ListExpr",
+    "Var",
+    "Apply",
+    "If",
+    "Let",
+    "Concat",
+    "Port",
+    "TaskDef",
+    "FunDef",
+    "Assign",
+    "Target",
+    "Script",
+]
+
+
+class Expr:
+    """Base class of all expressions."""
+
+
+@dataclass(frozen=True)
+class Str(Expr):
+    """A string literal — in Cuneiform, a single-element list."""
+
+    value: str
+
+
+@dataclass(frozen=True)
+class ListExpr(Expr):
+    """A literal list of expressions, flattened on evaluation."""
+
+    items: tuple[Expr, ...]
+
+
+@dataclass(frozen=True)
+class Var(Expr):
+    """Reference to a top-level assignment or function parameter."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class Apply(Expr):
+    """Application of a task or function to named arguments."""
+
+    callee: str
+    args: tuple[tuple[str, Expr], ...]
+
+
+@dataclass(frozen=True)
+class If(Expr):
+    """Data-dependent conditional; the untaken branch stays unevaluated."""
+
+    condition: Expr
+    then_branch: Expr
+    else_branch: Expr
+
+
+@dataclass(frozen=True)
+class Let(Expr):
+    """``let name = value; body`` — local binding."""
+
+    name: str
+    value: Expr
+    body: Expr
+
+
+@dataclass(frozen=True)
+class Concat(Expr):
+    """List concatenation (the ``+`` operator)."""
+
+    left: Expr
+    right: Expr
+
+
+@dataclass(frozen=True)
+class Port:
+    """A task port; aggregate ports (``<name>``) consume/produce lists."""
+
+    name: str
+    aggregate: bool = False
+
+
+@dataclass(frozen=True)
+class TaskDef:
+    """``deftask name( outs : ins )in lang *{ body }*``.
+
+    The body is black-box script text; the interpreter only reads its
+    annotations (``key: value`` lines):
+
+    * ``tool:`` — the tool-registry profile to charge (defaults to the
+      task name);
+    * ``output: empty-until N`` — the first N completed invocations
+      evaluate to the empty list, later ones to the produced file. This
+      is the simulation stand-in for genuinely data-dependent outputs
+      and drives conditionals/recursion (e.g. a convergence check).
+    """
+
+    name: str
+    outports: tuple[Port, ...]
+    inports: tuple[Port, ...]
+    language: str = "bash"
+    body: str = ""
+    annotations: dict[str, str] = field(default_factory=dict)
+
+    @property
+    def tool(self) -> str:
+        return self.annotations.get("tool", self.name)
+
+    @property
+    def empty_until(self) -> Optional[int]:
+        spec = self.annotations.get("output")
+        if spec and spec.startswith("empty-until"):
+            return int(spec.split()[1])
+        return None
+
+
+@dataclass(frozen=True)
+class FunDef:
+    """``defun name( params ) = expr;`` — enables recursion."""
+
+    name: str
+    params: tuple[str, ...]
+    body: Expr
+
+
+@dataclass(frozen=True)
+class Assign:
+    """Top-level ``name = expr;``."""
+
+    name: str
+    expr: Expr
+
+
+@dataclass(frozen=True)
+class Target:
+    """Top-level ``expr;`` — a query whose value the workflow computes."""
+
+    expr: Expr
+
+
+@dataclass
+class Script:
+    """A parsed Cuneiform script."""
+
+    tasks: dict[str, TaskDef] = field(default_factory=dict)
+    functions: dict[str, FunDef] = field(default_factory=dict)
+    assignments: dict[str, Expr] = field(default_factory=dict)
+    targets: list[Expr] = field(default_factory=list)

@@ -1,0 +1,130 @@
+"""Tokeniser for the Cuneiform-style workflow language.
+
+The language implemented here is a faithful subset of Cuneiform [8] as
+described in the paper: a minimal functional language with black-box
+tasks, list-valued expressions, conditionals, and recursion — enough to
+express the iterative k-means workflow of Sec. 3.3. Syntax follows
+Cuneiform 1.0 conventions (``deftask``, ``*{ ... }*`` script bodies).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import CuneiformError
+
+__all__ = ["Token", "tokenize"]
+
+KEYWORDS = {
+    "deftask",
+    "defun",
+    "in",
+    "if",
+    "then",
+    "else",
+    "end",
+    "let",
+    "nil",
+}
+
+SYMBOLS = {
+    "(": "LPAREN",
+    ")": "RPAREN",
+    "[": "LBRACKET",
+    "]": "RBRACKET",
+    ":": "COLON",
+    ";": "SEMI",
+    ",": "COMMA",
+    "=": "EQUALS",
+    "<": "LANGLE",
+    ">": "RANGLE",
+    "+": "PLUS",
+}
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token with its source position."""
+
+    kind: str
+    value: str
+    line: int
+    column: int
+
+    def __repr__(self) -> str:
+        return f"Token({self.kind}, {self.value!r}, {self.line}:{self.column})"
+
+
+def tokenize(text: str) -> list[Token]:
+    """Split ``text`` into tokens; raises :class:`CuneiformError` on junk."""
+    tokens: list[Token] = []
+    line = 1
+    column = 1
+    index = 0
+    length = len(text)
+
+    def error(message: str) -> CuneiformError:
+        return CuneiformError(f"line {line}, column {column}: {message}")
+
+    while index < length:
+        char = text[index]
+        # -- whitespace -----------------------------------------------------
+        if char == "\n":
+            line += 1
+            column = 1
+            index += 1
+            continue
+        if char in " \t\r":
+            index += 1
+            column += 1
+            continue
+        # -- comments ---------------------------------------------------------
+        if char == "%" or (char == "/" and text[index : index + 2] == "//"):
+            while index < length and text[index] != "\n":
+                index += 1
+            continue
+        # -- script bodies *{ ... }* -------------------------------------------
+        if text[index : index + 2] == "*{":
+            end = text.find("}*", index + 2)
+            if end < 0:
+                raise error("unterminated script body *{ ... }*")
+            body = text[index + 2 : end]
+            tokens.append(Token("BODY", body, line, column))
+            line += body.count("\n")
+            index = end + 2
+            column += 1
+            continue
+        # -- string literals ------------------------------------------------------
+        if char in "'\"":
+            quote = char
+            end = index + 1
+            while end < length and text[end] != quote:
+                if text[end] == "\n":
+                    raise error("unterminated string literal")
+                end += 1
+            if end >= length:
+                raise error("unterminated string literal")
+            tokens.append(Token("STRING", text[index + 1 : end], line, column))
+            column += end - index + 1
+            index = end + 1
+            continue
+        # -- symbols ----------------------------------------------------------------
+        if char in SYMBOLS:
+            tokens.append(Token(SYMBOLS[char], char, line, column))
+            index += 1
+            column += 1
+            continue
+        # -- identifiers / keywords / numbers ------------------------------------------
+        if char.isalnum() or char in "_-./":
+            end = index
+            while end < length and (text[end].isalnum() or text[end] in "_-./"):
+                end += 1
+            word = text[index:end]
+            kind = word if word in KEYWORDS else "NAME"
+            tokens.append(Token(kind, word, line, column))
+            column += end - index
+            index = end
+            continue
+        raise error(f"unexpected character {char!r}")
+    tokens.append(Token("EOF", "", line, column))
+    return tokens

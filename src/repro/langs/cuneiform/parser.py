@@ -1,0 +1,235 @@
+"""Recursive-descent parser for the Cuneiform subset.
+
+Grammar (simplified Cuneiform 1.0):
+
+.. code-block:: text
+
+    script     := statement*
+    statement  := taskdef | fundef | assignment | target
+    taskdef    := 'deftask' NAME '(' ports ':' ports ')' ['in' NAME] BODY
+    ports      := ( NAME | '<' NAME '>' )*
+    fundef     := 'defun' NAME '(' NAME* ')' '=' expr ';'
+    assignment := NAME '=' expr ';'
+    target     := expr ';'
+    expr       := 'if' expr 'then' expr 'else' expr 'end'
+                | 'let' NAME '=' expr ';' expr
+                | concat
+    concat     := primary ('+' primary)*
+    primary    := STRING | 'nil' | NAME [application] | '[' expr* ']'
+    application:= '(' [NAME ':' expr (',' NAME ':' expr)*] ')'
+"""
+
+from __future__ import annotations
+
+from repro.errors import CuneiformError
+from repro.langs.cuneiform.ast import (
+    Apply,
+    Assign,
+    Concat,
+    Expr,
+    FunDef,
+    If,
+    Let,
+    ListExpr,
+    Port,
+    Script,
+    Str,
+    Target,
+    TaskDef,
+    Var,
+)
+from repro.langs.cuneiform.lexer import Token, tokenize
+
+__all__ = ["parse"]
+
+
+def _parse_annotations(body: str) -> dict[str, str]:
+    """Extract ``key: value`` annotation lines from a script body."""
+    annotations: dict[str, str] = {}
+    for line in body.splitlines():
+        line = line.strip().lstrip("#").strip()
+        if ":" in line:
+            key, _, value = line.partition(":")
+            key = key.strip()
+            if key and " " not in key:
+                annotations[key] = value.strip()
+    return annotations
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]):
+        self._tokens = tokens
+        self._pos = 0
+
+    # -- token plumbing -----------------------------------------------------
+
+    def _peek(self) -> Token:
+        return self._tokens[self._pos]
+
+    def _next(self) -> Token:
+        token = self._tokens[self._pos]
+        self._pos += 1
+        return token
+
+    def _expect(self, kind: str) -> Token:
+        token = self._peek()
+        if token.kind != kind:
+            raise CuneiformError(
+                f"line {token.line}: expected {kind}, found {token.kind} "
+                f"({token.value!r})"
+            )
+        return self._next()
+
+    def _accept(self, kind: str) -> bool:
+        if self._peek().kind == kind:
+            self._next()
+            return True
+        return False
+
+    # -- top level -------------------------------------------------------------
+
+    def parse_script(self) -> Script:
+        script = Script()
+        while self._peek().kind != "EOF":
+            token = self._peek()
+            if token.kind == "deftask":
+                task = self._parse_taskdef()
+                if task.name in script.tasks:
+                    raise CuneiformError(f"task {task.name!r} defined twice")
+                script.tasks[task.name] = task
+            elif token.kind == "defun":
+                fun = self._parse_fundef()
+                if fun.name in script.functions:
+                    raise CuneiformError(f"function {fun.name!r} defined twice")
+                script.functions[fun.name] = fun
+            elif (
+                token.kind == "NAME"
+                and self._tokens[self._pos + 1].kind == "EQUALS"
+            ):
+                self._next()
+                self._expect("EQUALS")
+                expr = self._parse_expr()
+                self._expect("SEMI")
+                if token.value in script.assignments:
+                    raise CuneiformError(f"variable {token.value!r} assigned twice")
+                script.assignments[token.value] = expr
+            else:
+                expr = self._parse_expr()
+                self._expect("SEMI")
+                script.targets.append(Target(expr).expr)
+        return script
+
+    def _parse_ports(self, terminators: tuple[str, ...]) -> tuple[Port, ...]:
+        ports: list[Port] = []
+        while self._peek().kind not in terminators:
+            if self._accept("LANGLE"):
+                name = self._expect("NAME").value
+                self._expect("RANGLE")
+                ports.append(Port(name, aggregate=True))
+            else:
+                ports.append(Port(self._expect("NAME").value))
+        return tuple(ports)
+
+    def _parse_taskdef(self) -> TaskDef:
+        self._expect("deftask")
+        name = self._expect("NAME").value
+        self._expect("LPAREN")
+        outports = self._parse_ports(("COLON",))
+        self._expect("COLON")
+        inports = self._parse_ports(("RPAREN",))
+        self._expect("RPAREN")
+        language = "bash"
+        if self._accept("in"):
+            language = self._expect("NAME").value
+        body = self._expect("BODY").value
+        if not outports:
+            raise CuneiformError(f"task {name!r} declares no output ports")
+        return TaskDef(
+            name=name,
+            outports=outports,
+            inports=inports,
+            language=language,
+            body=body,
+            annotations=_parse_annotations(body),
+        )
+
+    def _parse_fundef(self) -> FunDef:
+        self._expect("defun")
+        name = self._expect("NAME").value
+        self._expect("LPAREN")
+        params: list[str] = []
+        while self._peek().kind == "NAME":
+            params.append(self._next().value)
+        self._expect("RPAREN")
+        self._expect("EQUALS")
+        body = self._parse_expr()
+        self._expect("SEMI")
+        return FunDef(name=name, params=tuple(params), body=body)
+
+    # -- expressions -------------------------------------------------------------
+
+    def _parse_expr(self) -> Expr:
+        token = self._peek()
+        if token.kind == "if":
+            self._next()
+            condition = self._parse_expr()
+            self._expect("then")
+            then_branch = self._parse_expr()
+            self._expect("else")
+            else_branch = self._parse_expr()
+            self._expect("end")
+            return If(condition, then_branch, else_branch)
+        if token.kind == "let":
+            self._next()
+            name = self._expect("NAME").value
+            self._expect("EQUALS")
+            value = self._parse_expr()
+            self._expect("SEMI")
+            body = self._parse_expr()
+            return Let(name, value, body)
+        return self._parse_concat()
+
+    def _parse_concat(self) -> Expr:
+        left = self._parse_primary()
+        while self._accept("PLUS"):
+            right = self._parse_primary()
+            left = Concat(left, right)
+        return left
+
+    def _parse_primary(self) -> Expr:
+        token = self._peek()
+        if token.kind == "STRING":
+            self._next()
+            return Str(token.value)
+        if token.kind == "nil":
+            self._next()
+            return ListExpr(())
+        if token.kind == "LBRACKET":
+            self._next()
+            items: list[Expr] = []
+            while not self._accept("RBRACKET"):
+                items.append(self._parse_expr())
+            return ListExpr(tuple(items))
+        if token.kind == "NAME":
+            self._next()
+            if self._peek().kind != "LPAREN":
+                return Var(token.value)
+            self._next()  # LPAREN
+            args: list[tuple[str, Expr]] = []
+            if not self._accept("RPAREN"):
+                while True:
+                    arg_name = self._expect("NAME").value
+                    self._expect("COLON")
+                    args.append((arg_name, self._parse_expr()))
+                    if self._accept("RPAREN"):
+                        break
+                    self._expect("COMMA")
+            return Apply(token.value, tuple(args))
+        raise CuneiformError(
+            f"line {token.line}: unexpected {token.kind} ({token.value!r})"
+        )
+
+
+def parse(text: str) -> Script:
+    """Parse Cuneiform source text into a :class:`Script`."""
+    return _Parser(tokenize(text)).parse_script()

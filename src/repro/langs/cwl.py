@@ -1,0 +1,179 @@
+"""A Common Workflow Language (CWL) frontend.
+
+The paper's related work singles out CWL [6] as "a YAML-based workflow
+language that unifies concepts of various other languages" (supported by
+Toil); Hi-WAY's language interface is explicitly designed so that adding
+such a non-iterative language only requires a parser from workflow text
+to tasks and dependencies (Sec. 3.2). This module is that parser for a
+practical subset of CWL v1.0, accepted in its JSON serialisation (CWL
+documents are YAML, and every YAML document has a canonical JSON form;
+this offline environment has no YAML parser).
+
+Supported subset:
+
+* a ``Workflow`` document with ``inputs``, ``outputs``, and ``steps``;
+* steps whose ``run`` is an inline ``CommandLineTool`` with
+  ``baseCommand`` (mapped to the tool registry) and ``outputs``;
+* step inputs wired via ``source`` references (``input_name`` or
+  ``step/output``); workflow inputs of type ``File`` are bound to
+  concrete paths at submission time, exactly like Galaxy's interactive
+  input resolution.
+
+Scatter, expressions, and subworkflows are out of scope and rejected
+with clear errors.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Optional
+
+from repro.errors import LanguageError
+from repro.workflow.model import StaticTaskSource, TaskSpec, WorkflowGraph
+
+__all__ = ["parse_cwl", "CwlSource"]
+
+_UNSUPPORTED_STEP_KEYS = ("scatter", "when", "requirements")
+
+
+def _listify(section) -> list[dict]:
+    """CWL allows map or array forms for inputs/outputs/steps."""
+    if section is None:
+        return []
+    if isinstance(section, dict):
+        return [dict(value, id=key) for key, value in section.items()]
+    if isinstance(section, list):
+        return [dict(item) for item in section]
+    raise LanguageError(f"expected map or array, found {type(section).__name__}")
+
+
+def _strip_hash(identifier: str) -> str:
+    return identifier.lstrip("#")
+
+
+def parse_cwl(
+    text: str,
+    input_bindings: Optional[dict[str, str]] = None,
+    name: Optional[str] = None,
+) -> WorkflowGraph:
+    """Parse a CWL Workflow (JSON serialisation) into a graph.
+
+    ``input_bindings`` maps workflow-level ``File`` inputs to concrete
+    storage paths.
+    """
+    try:
+        document = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise LanguageError(
+            f"malformed CWL JSON: {exc} (YAML documents must be converted "
+            "to their JSON form first)"
+        ) from exc
+    if not isinstance(document, dict):
+        raise LanguageError("CWL document must be a JSON object")
+    if document.get("class") != "Workflow":
+        raise LanguageError(
+            f"expected class: Workflow, found {document.get('class')!r}"
+        )
+    bindings = dict(input_bindings or {})
+    graph_name = name or _strip_hash(document.get("id", "cwl-workflow"))
+    graph = WorkflowGraph(graph_name)
+
+    # Workflow-level File inputs resolve to concrete paths.
+    resolved: dict[str, str] = {}
+    for item in _listify(document.get("inputs")):
+        input_id = _strip_hash(item["id"])
+        if item.get("type", "File") != "File":
+            continue  # non-File parameters carry no data dependencies
+        if input_id not in bindings:
+            raise LanguageError(
+                f"unbound CWL workflow input {input_id!r}: pass a concrete "
+                "file via input_bindings"
+            )
+        resolved[input_id] = bindings[input_id]
+
+    steps = _listify(document.get("steps"))
+    if not steps:
+        raise LanguageError("CWL workflow has no steps")
+
+    # First pass: every step's declared outputs get concrete paths.
+    produced: dict[str, str] = {}  # "step/output" -> path
+    tools: dict[str, dict] = {}
+    for step in steps:
+        step_id = _strip_hash(step["id"])
+        for key in _UNSUPPORTED_STEP_KEYS:
+            if key in step:
+                raise LanguageError(
+                    f"step {step_id!r}: CWL feature {key!r} is not supported"
+                )
+        run = step.get("run")
+        if not isinstance(run, dict) or run.get("class") != "CommandLineTool":
+            raise LanguageError(
+                f"step {step_id!r}: only inline CommandLineTool runs are "
+                "supported"
+            )
+        tools[step_id] = run
+        declared = step.get("out") or [
+            _strip_hash(o["id"]) for o in _listify(run.get("outputs"))
+        ]
+        for output in declared:
+            output_name = _strip_hash(
+                output if isinstance(output, str) else output["id"]
+            )
+            produced[f"{step_id}/{output_name}"] = (
+                f"/cwl/{graph_name}/{step_id}/{output_name}"
+            )
+
+    def resolve_source(source: str, step_id: str) -> str:
+        source = _strip_hash(source)
+        if source in resolved:
+            return resolved[source]
+        if source in produced:
+            return produced[source]
+        raise LanguageError(
+            f"step {step_id!r}: unresolvable source {source!r}"
+        )
+
+    # Second pass: build tasks.
+    for step in steps:
+        step_id = _strip_hash(step["id"])
+        run = tools[step_id]
+        base = run.get("baseCommand")
+        if isinstance(base, list):
+            base = base[0] if base else None
+        if not base:
+            raise LanguageError(f"step {step_id!r}: missing baseCommand")
+        inputs: list[str] = []
+        for item in _listify(step.get("in")):
+            source = item.get("source")
+            if source is None:
+                continue  # defaults / literal parameters
+            sources = source if isinstance(source, list) else [source]
+            for entry in sources:
+                inputs.append(resolve_source(entry, step_id))
+        outputs = sorted(
+            path
+            for key, path in produced.items()
+            if key.startswith(f"{step_id}/")
+        )
+        graph.add_task(TaskSpec(
+            tool=base,
+            inputs=inputs,
+            outputs=outputs,
+            signature=base,
+            task_id=f"{graph_name}-{step_id}",
+            command=f"cwl:{base}",
+        ))
+    graph.validate()
+    return graph
+
+
+class CwlSource(StaticTaskSource):
+    """Task source wrapping a CWL workflow document."""
+
+    def __init__(
+        self,
+        text: str,
+        input_bindings: Optional[dict[str, str]] = None,
+        name: Optional[str] = None,
+    ):
+        super().__init__(parse_cwl(text, input_bindings=input_bindings, name=name))

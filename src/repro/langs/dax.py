@@ -1,0 +1,105 @@
+"""Parser for Pegasus DAX workflows (Sec. 3.2).
+
+DAX is Pegasus' XML workflow language: every task invocation and every
+file is spelled out explicitly, so DAX workflows are static — which is
+exactly what makes them eligible for Hi-WAY's static schedulers
+(round-robin, HEFT). ``<uses>`` elements carry optional byte sizes that
+become output-size hints for the simulation.
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ElementTree
+
+from repro.errors import LanguageError
+from repro.workflow.model import StaticTaskSource, TaskSpec, WorkflowGraph
+
+__all__ = ["parse_dax", "DaxSource"]
+
+
+def _local_name(tag: str) -> str:
+    """Strip an XML namespace from a tag name."""
+    return tag.rsplit("}", 1)[-1]
+
+
+def _bytes_to_mb(value: str) -> float:
+    return float(value) / 1.0e6
+
+
+def parse_dax(text: str, name: str | None = None) -> WorkflowGraph:
+    """Parse DAX XML into a :class:`WorkflowGraph`."""
+    try:
+        root = ElementTree.fromstring(text)
+    except ElementTree.ParseError as exc:
+        raise LanguageError(f"malformed DAX XML: {exc}") from exc
+    if _local_name(root.tag) != "adag":
+        raise LanguageError(f"expected <adag> root, found <{_local_name(root.tag)}>")
+    graph = WorkflowGraph(name or root.get("name", "dax-workflow"))
+    job_outputs: dict[str, set[str]] = {}
+
+    for element in root:
+        if _local_name(element.tag) != "job":
+            continue
+        job_id = element.get("id")
+        tool = element.get("name")
+        if not job_id or not tool:
+            raise LanguageError("every <job> needs 'id' and 'name' attributes")
+        inputs: list[str] = []
+        outputs: list[str] = []
+        size_hints: dict[str, float] = {}
+        for uses in element:
+            if _local_name(uses.tag) != "uses":
+                continue
+            path = uses.get("file") or uses.get("name")
+            link = uses.get("link")
+            if not path or link not in ("input", "output"):
+                raise LanguageError(
+                    f"job {job_id}: <uses> needs 'file' and link=input|output"
+                )
+            if link == "input":
+                inputs.append(path)
+            else:
+                outputs.append(path)
+                size = uses.get("size")
+                if size is not None:
+                    size_hints[path] = _bytes_to_mb(size)
+        graph.add_task(TaskSpec(
+            tool=tool,
+            inputs=inputs,
+            outputs=outputs,
+            signature=tool,
+            task_id=job_id,
+            output_size_hints=size_hints,
+            command=f"{tool} ({job_id})",
+        ))
+        job_outputs[job_id] = set(outputs)
+
+    # <child>/<parent> edges must be consistent with the file-implied DAG.
+    for element in root:
+        if _local_name(element.tag) != "child":
+            continue
+        child_id = element.get("ref")
+        child = graph.tasks.get(child_id)
+        if child is None:
+            raise LanguageError(f"<child ref={child_id!r}> references unknown job")
+        declared_parents = {
+            parent.get("ref")
+            for parent in element
+            if _local_name(parent.tag) == "parent"
+        }
+        implied_parents = graph.dependencies_of(child)
+        undeclared = implied_parents - declared_parents
+        if undeclared:
+            raise LanguageError(
+                f"job {child_id}: data dependencies on {sorted(undeclared)} "
+                "missing from <child>/<parent> declarations"
+            )
+    graph.validate()
+    return graph
+
+
+class DaxSource(StaticTaskSource):
+    """Task source wrapping a parsed DAX workflow."""
+
+    def __init__(self, text: str, name: str | None = None):
+        super().__init__(parse_dax(text, name=name))

@@ -1,0 +1,116 @@
+"""Parser for exported Galaxy workflows (Sec. 3.2).
+
+Galaxy workflows are assembled in a web GUI and exported to JSON. The
+export names tools and wires step outputs to step inputs, but leaves the
+workflow's *input datasets* as placeholders ("input ports serve as
+placeholders for the input files, which are resolved interactively when
+the workflow is committed to Hi-WAY for execution") — hence the
+``input_bindings`` argument mapping each data-input step's label to a
+concrete HDFS path.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Optional
+
+from repro.errors import LanguageError
+from repro.workflow.model import StaticTaskSource, TaskSpec, WorkflowGraph
+
+__all__ = ["parse_galaxy", "GalaxySource"]
+
+_INPUT_TYPES = {"data_input", "data_collection_input"}
+
+
+def parse_galaxy(
+    text: str,
+    input_bindings: Optional[dict[str, str]] = None,
+    name: Optional[str] = None,
+) -> WorkflowGraph:
+    """Parse a Galaxy JSON export into a :class:`WorkflowGraph`.
+
+    ``input_bindings`` maps data-input step labels to file paths; every
+    input step must be bound or parsing fails (matching Hi-WAY's
+    interactive resolution requirement).
+    """
+    try:
+        document = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise LanguageError(f"malformed Galaxy JSON: {exc}") from exc
+    if not isinstance(document, dict) or "steps" not in document:
+        raise LanguageError("Galaxy export needs a top-level 'steps' object")
+    bindings = dict(input_bindings or {})
+    workflow_name = name or document.get("name", "galaxy-workflow")
+    graph = WorkflowGraph(workflow_name)
+
+    steps = document["steps"]
+    # step id -> {output name -> path}
+    produced: dict[str, dict[str, str]] = {}
+
+    ordered = sorted(steps.items(), key=lambda item: int(item[0]))
+    # First pass: resolve what every step produces.
+    for step_id, step in ordered:
+        step_type = step.get("type", "tool")
+        outputs = step.get("outputs", [])
+        if step_type in _INPUT_TYPES:
+            label = step.get("label") or step.get("name") or f"input-{step_id}"
+            if label not in bindings:
+                raise LanguageError(
+                    f"unbound Galaxy input step {label!r}: pass a concrete "
+                    "file via input_bindings (resolved interactively in Hi-WAY)"
+                )
+            produced[step_id] = {"output": bindings[label]}
+            continue
+        tool_id = step.get("tool_id")
+        if not tool_id:
+            raise LanguageError(f"step {step_id}: tool steps need a tool_id")
+        names = [o.get("name", "out") for o in outputs] or ["out"]
+        produced[step_id] = {
+            output_name: f"/galaxy/{workflow_name}/{step_id}/{output_name}"
+            for output_name in names
+        }
+
+    # Second pass: build tasks with resolved connections.
+    for step_id, step in ordered:
+        if step.get("type", "tool") in _INPUT_TYPES:
+            continue
+        tool_id = step["tool_id"]
+        inputs: list[str] = []
+        for connection in step.get("input_connections", {}).values():
+            links = connection if isinstance(connection, list) else [connection]
+            for link in links:
+                source_id = str(link["id"])
+                output_name = link.get("output_name", "output")
+                source_outputs = produced.get(source_id)
+                if source_outputs is None:
+                    raise LanguageError(
+                        f"step {step_id}: connection references unknown step "
+                        f"{source_id}"
+                    )
+                path = source_outputs.get(output_name)
+                if path is None:
+                    # Galaxy exports sometimes reference the default port.
+                    path = next(iter(source_outputs.values()))
+                inputs.append(path)
+        graph.add_task(TaskSpec(
+            tool=tool_id,
+            inputs=inputs,
+            outputs=list(produced[step_id].values()),
+            signature=tool_id,
+            task_id=f"{workflow_name}-step-{step_id}",
+            command=f"galaxy:{tool_id}",
+        ))
+    graph.validate()
+    return graph
+
+
+class GalaxySource(StaticTaskSource):
+    """Task source wrapping a Galaxy workflow export."""
+
+    def __init__(
+        self,
+        text: str,
+        input_bindings: Optional[dict[str, str]] = None,
+        name: Optional[str] = None,
+    ):
+        super().__init__(parse_galaxy(text, input_bindings=input_bindings, name=name))

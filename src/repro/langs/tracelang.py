@@ -1,0 +1,62 @@
+"""Re-executable provenance traces — Hi-WAY's fourth language (Sec. 3.5).
+
+A trace file holds information about all of a workflow's tasks and data
+dependencies, so it can itself be interpreted as a workflow. This module
+turns a JSON-lines trace (as produced by the Provenance Manager) back
+into a static task source: every successful task becomes a task spec
+whose recorded output sizes serve as size hints, reproducing the run —
+albeit not necessarily on the same compute nodes.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.provenance.events import TASK_EVENT
+from repro.core.provenance.stores import TraceFileStore
+from repro.errors import LanguageError
+from repro.workflow.model import StaticTaskSource, TaskSpec, WorkflowGraph
+
+__all__ = ["parse_trace", "TraceSource"]
+
+
+def parse_trace(text: str, name: Optional[str] = None) -> WorkflowGraph:
+    """Rebuild a workflow graph from a JSON-lines provenance trace."""
+    store = TraceFileStore.from_jsonl(text)
+    records = store.records(kind=TASK_EVENT)
+    if not records:
+        raise LanguageError("trace contains no task events")
+    # Retries may appear; keep the last successful record per task id.
+    latest: dict[str, dict] = {}
+    for record in records:
+        if record["success"]:
+            latest[record["task_id"]] = record
+    if not latest:
+        raise LanguageError("trace contains no successful task events")
+    workflow_names = {
+        record["workflow_name"]
+        for record in store.records(kind="workflow")
+        if record.get("phase") == "start"
+    }
+    graph_name = name or (sorted(workflow_names)[0] if workflow_names else "trace")
+    graph = WorkflowGraph(f"{graph_name}-replay")
+    for task_id in sorted(latest):
+        record = latest[task_id]
+        graph.add_task(TaskSpec(
+            tool=record["tool"],
+            inputs=list(record["inputs"]),
+            outputs=list(record["outputs"]),
+            signature=record["signature"],
+            task_id=f"replay-{task_id}",
+            command=record["command"],
+            output_size_hints=dict(record["output_sizes"]),
+        ))
+    graph.validate()
+    return graph
+
+
+class TraceSource(StaticTaskSource):
+    """Task source re-executing a recorded provenance trace."""
+
+    def __init__(self, text: str, name: Optional[str] = None):
+        super().__init__(parse_trace(text, name=name))

@@ -1,0 +1,14 @@
+"""Reproducible installation: Chef-style recipes and Karamel orchestration."""
+
+from repro.recipes.catalog import builtin_recipe_book
+from repro.recipes.karamel import ClusterDefinition, Karamel
+from repro.recipes.recipe import DataItem, Recipe, RecipeBook
+
+__all__ = [
+    "Recipe",
+    "RecipeBook",
+    "DataItem",
+    "Karamel",
+    "ClusterDefinition",
+    "builtin_recipe_book",
+]

@@ -1,0 +1,60 @@
+"""Built-in recipes for every workflow of the evaluation (Sec. 3.6).
+
+Mirrors the public recipe collection on saasfee.io: one recipe per
+execution-ready workflow, each declaring the software to install and the
+input data to obtain, plus a base recipe for Hi-WAY itself.
+"""
+
+from __future__ import annotations
+
+from repro.recipes.recipe import Recipe, RecipeBook
+from repro.tools.generic import generic_registry
+from repro.workloads.kmeans import KMEANS_TOOLS, kmeans_inputs
+from repro.workloads.montage import MONTAGE_TOOLS, montage_inputs
+from repro.workloads.rnaseq import RNASEQ_TOOLS, trapline_inputs
+from repro.workloads.snv import SNV_TOOLS, sample_read_files
+
+__all__ = ["builtin_recipe_book"]
+
+
+def builtin_recipe_book(
+    snv_samples: int = 2,
+    snv_mb_per_file: float = 1024.0,
+    snv_from_s3: bool = False,
+    rnaseq_mb_per_replicate: float = 1750.0,
+    montage_degree: float = 0.25,
+    kmeans_partitions: int = 4,
+) -> RecipeBook:
+    """The default recipe collection, parameterised like the experiments."""
+    book = RecipeBook()
+    book.register(Recipe.build(
+        name="hiway-base",
+        packages=tuple(generic_registry().names()),
+    ))
+    book.register(Recipe.build(
+        name="snv-calling",
+        packages=SNV_TOOLS,
+        data=sample_read_files(
+            snv_samples, mb_per_file=snv_mb_per_file, from_s3=snv_from_s3
+        ),
+        depends_on=("hiway-base",),
+    ))
+    book.register(Recipe.build(
+        name="trapline",
+        packages=RNASEQ_TOOLS,
+        data=trapline_inputs(mb_per_replicate=rnaseq_mb_per_replicate),
+        depends_on=("hiway-base",),
+    ))
+    book.register(Recipe.build(
+        name="montage",
+        packages=MONTAGE_TOOLS,
+        data=montage_inputs(montage_degree),
+        depends_on=("hiway-base",),
+    ))
+    book.register(Recipe.build(
+        name="kmeans",
+        packages=KMEANS_TOOLS,
+        data=kmeans_inputs(partitions=kmeans_partitions),
+        depends_on=("hiway-base",),
+    ))
+    return book

@@ -1,0 +1,112 @@
+"""Chef-style recipes (Sec. 3.6).
+
+The black-box model dictates that (1) all of a workflow's software
+dependencies must be available on every compute node YARN manages, and
+(2) all input data must be placed in HDFS (or be reachable, e.g. on S3)
+before execution. The paper automates this with Chef recipes run through
+Karamel; here a :class:`Recipe` declares the same two aspects —
+``packages`` to install and ``data`` to stage — plus recipe dependencies,
+and the orchestrator applies them to a simulated cluster.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import RecipeError
+
+__all__ = ["DataItem", "Recipe", "RecipeBook"]
+
+
+@dataclass(frozen=True)
+class DataItem:
+    """One input dataset a recipe stages."""
+
+    path: str
+    size_mb: float
+
+    def __post_init__(self) -> None:
+        if self.size_mb < 0:
+            raise RecipeError(f"{self.path}: negative size")
+
+    @property
+    def external(self) -> bool:
+        """Whether the data stays on S3 rather than being put in HDFS."""
+        return self.path.startswith("s3://")
+
+
+@dataclass(frozen=True)
+class Recipe:
+    """Declarative setup of software and data for one workflow."""
+
+    name: str
+    #: Executables installed on every node.
+    packages: tuple[str, ...] = ()
+    #: Datasets staged into HDFS / registered on S3.
+    data: tuple[DataItem, ...] = ()
+    #: Names of recipes that must be applied first.
+    depends_on: tuple[str, ...] = ()
+
+    @classmethod
+    def build(
+        cls,
+        name: str,
+        packages: tuple[str, ...] | list[str] = (),
+        data: dict[str, float] | None = None,
+        depends_on: tuple[str, ...] | list[str] = (),
+    ) -> "Recipe":
+        """Convenience constructor taking a plain path->MB mapping."""
+        items = tuple(
+            DataItem(path, size_mb) for path, size_mb in sorted((data or {}).items())
+        )
+        return cls(
+            name=name,
+            packages=tuple(packages),
+            data=items,
+            depends_on=tuple(depends_on),
+        )
+
+
+class RecipeBook:
+    """A named collection of recipes with dependency resolution."""
+
+    def __init__(self):
+        self._recipes: dict[str, Recipe] = {}
+
+    def register(self, recipe: Recipe) -> Recipe:
+        if recipe.name in self._recipes:
+            raise RecipeError(f"recipe {recipe.name!r} already registered")
+        self._recipes[recipe.name] = recipe
+        return recipe
+
+    def get(self, name: str) -> Recipe:
+        try:
+            return self._recipes[name]
+        except KeyError:
+            raise RecipeError(f"unknown recipe {name!r}") from None
+
+    def names(self) -> list[str]:
+        return sorted(self._recipes)
+
+    def resolve(self, names: list[str]) -> list[Recipe]:
+        """Dependency-ordered list of recipes to apply for ``names``."""
+        ordered: list[Recipe] = []
+        seen: set[str] = set()
+        visiting: set[str] = set()
+
+        def visit(name: str) -> None:
+            if name in seen:
+                return
+            if name in visiting:
+                raise RecipeError(f"recipe dependency cycle through {name!r}")
+            visiting.add(name)
+            recipe = self.get(name)
+            for dependency in recipe.depends_on:
+                visit(dependency)
+            visiting.discard(name)
+            seen.add(name)
+            ordered.append(recipe)
+
+        for name in names:
+            visit(name)
+        return ordered

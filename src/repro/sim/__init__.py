@@ -1,0 +1,19 @@
+"""Discrete-event simulation kernel and flow-level resource model."""
+
+from repro.sim.engine import AllOf, AnyOf, Environment, Event, Process, Timeout
+from repro.sim.flows import Flow, FlowNetwork, Resource
+from repro.sim.metrics import MetricRecorder, ResourceUsage
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Environment",
+    "Event",
+    "Process",
+    "Timeout",
+    "Flow",
+    "FlowNetwork",
+    "Resource",
+    "MetricRecorder",
+    "ResourceUsage",
+]

@@ -1,0 +1,367 @@
+"""A small discrete-event simulation kernel.
+
+The kernel follows the SimPy model: *processes* are Python generators that
+``yield`` :class:`Event` objects and are resumed when those events fire.
+Only the features the rest of the package needs are implemented, which
+keeps the core small enough to reason about and test exhaustively.
+
+Typical usage::
+
+    env = Environment()
+
+    def worker(env):
+        yield env.timeout(5.0)
+        return "done"
+
+    proc = env.process(worker(env))
+    env.run()
+    assert env.now == 5.0 and proc.value == "done"
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Callable, Generator, Iterable, Optional
+
+from repro.errors import Interrupt, SimulationError
+
+__all__ = [
+    "Environment",
+    "Event",
+    "Timeout",
+    "Process",
+    "AllOf",
+    "AnyOf",
+]
+
+#: Sentinel distinguishing "no value yet" from a legitimate ``None`` value.
+_PENDING = object()
+
+
+class Event:
+    """A one-shot occurrence processes can wait for.
+
+    An event moves through three states: *pending* (just created),
+    *triggered* (``succeed``/``fail`` called, scheduled on the event queue)
+    and *processed* (callbacks have run). Waiting on an already-processed
+    event resumes the waiter immediately on the next scheduler step.
+    """
+
+    def __init__(self, env: "Environment"):
+        self.env = env
+        self.callbacks: list[Callable[["Event"], None]] = []
+        self._value: object = _PENDING
+        self._ok: Optional[bool] = None
+        #: True when a failure was delivered to at least one waiter.
+        self._defused = False
+
+    @property
+    def triggered(self) -> bool:
+        """Whether ``succeed`` or ``fail`` has been called."""
+        return self._ok is not None
+
+    @property
+    def processed(self) -> bool:
+        """Whether the callbacks have already been invoked."""
+        return self.callbacks is None  # type: ignore[return-value]
+
+    @property
+    def ok(self) -> bool:
+        """Whether the event succeeded. Only valid once triggered."""
+        if self._ok is None:
+            raise SimulationError("event value not yet available")
+        return self._ok
+
+    @property
+    def value(self) -> object:
+        """The event's value (or failure exception) once triggered."""
+        if self._value is _PENDING:
+            raise SimulationError("event value not yet available")
+        return self._value
+
+    def succeed(self, value: object = None) -> "Event":
+        """Trigger the event successfully, delivering ``value`` to waiters."""
+        if self._ok is not None:
+            raise SimulationError(f"{self!r} already triggered")
+        self._ok = True
+        self._value = value
+        self.env._schedule(self)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event as failed; waiters will see ``exception``."""
+        if not isinstance(exception, BaseException):
+            raise SimulationError("fail() requires an exception instance")
+        if self._ok is not None:
+            raise SimulationError(f"{self!r} already triggered")
+        self._ok = False
+        self._value = exception
+        self.env._schedule(self)
+        return self
+
+    def _add_callback(self, callback: Callable[["Event"], None]) -> None:
+        if self.callbacks is None:
+            # Already processed: deliver on the next queue step.
+            self.env._schedule_callback(self, callback)
+        else:
+            self.callbacks.append(callback)
+
+    def _process(self) -> None:
+        callbacks, self.callbacks = self.callbacks, None
+        for callback in callbacks:
+            callback(self)
+
+
+class Timeout(Event):
+    """An event that fires after a fixed simulated delay."""
+
+    def __init__(self, env: "Environment", delay: float, value: object = None):
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay: {delay}")
+        super().__init__(env)
+        self.delay = delay
+        self._ok = True
+        self._value = value
+        env._schedule(self, delay=delay)
+
+    def succeed(self, value: object = None) -> "Event":  # pragma: no cover
+        raise SimulationError("Timeout events trigger themselves")
+
+    def fail(self, exception: BaseException) -> "Event":  # pragma: no cover
+        raise SimulationError("Timeout events trigger themselves")
+
+
+class Process(Event):
+    """Wraps a generator; the process itself is an event firing on exit.
+
+    The wrapped generator yields :class:`Event` instances. When a yielded
+    event succeeds, its value is sent into the generator; when it fails,
+    the exception is thrown into the generator (and is considered handled
+    if the generator catches it).
+    """
+
+    def __init__(self, env: "Environment", generator: Generator):
+        super().__init__(env)
+        if not hasattr(generator, "send"):
+            raise SimulationError("process() requires a generator")
+        self._generator = generator
+        # Kick the process off on the next scheduler step. The bootstrap
+        # event is the initial wait target so that interrupting a process
+        # before its first step detaches cleanly.
+        bootstrap = Event(env)
+        bootstrap._ok = True
+        bootstrap._value = None
+        bootstrap._add_callback(self._resume)
+        env._schedule(bootstrap)
+        self._target: Optional[Event] = bootstrap
+
+    @property
+    def is_alive(self) -> bool:
+        """Whether the underlying generator has not yet finished."""
+        return self._ok is None
+
+    def interrupt(self, cause: object = None) -> None:
+        """Throw :class:`Interrupt` into the process at its next resume."""
+        if not self.is_alive:
+            raise SimulationError("cannot interrupt a finished process")
+        # Detach from whatever the process is waiting on so the stale event
+        # does not resume it a second time.
+        if self._target is not None and self._target.callbacks is not None:
+            try:
+                self._target.callbacks.remove(self._resume)
+            except ValueError:
+                pass
+        self._target = None
+        wakeup = Event(self.env)
+        wakeup._ok = False
+        wakeup._value = Interrupt(cause)
+        wakeup._defused = True
+        wakeup._add_callback(self._resume)
+        self.env._schedule(wakeup, priority=0)
+
+    def _resume(self, event: Event) -> None:
+        if self.triggered:
+            return  # A stale wakeup for an already-finished process.
+        self._target = None
+        try:
+            if event._ok:
+                next_event = self._generator.send(event._value)
+            else:
+                event._defused = True
+                next_event = self._generator.throw(event._value)
+        except StopIteration as stop:
+            self._ok = True
+            self._value = stop.value
+            self.env._schedule(self)
+            return
+        except BaseException as exc:
+            self._ok = False
+            self._value = exc
+            self.env._schedule(self)
+            return
+        if not isinstance(next_event, Event):
+            raise SimulationError(
+                f"process yielded {next_event!r}, which is not an Event"
+            )
+        self._target = next_event
+        next_event._add_callback(self._resume)
+
+
+class _Condition(Event):
+    """Base for AllOf / AnyOf composite events."""
+
+    def __init__(self, env: "Environment", events: Iterable[Event]):
+        super().__init__(env)
+        self._events = list(events)
+        self._pending = len(self._events)
+        for event in self._events:
+            if not isinstance(event, Event):
+                raise SimulationError(f"{event!r} is not an Event")
+            event._add_callback(self._check)
+        if not self._events:
+            self.succeed({})
+
+    def _results(self) -> dict[Event, object]:
+        return {
+            event: event._value
+            for event in self._events
+            if event.triggered
+        }
+
+    def _check(self, event: Event) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class AllOf(_Condition):
+    """Fires when every constituent event has fired; fails fast on failure."""
+
+    def _check(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if not event._ok:
+            event._defused = True
+            self.fail(event._value)  # type: ignore[arg-type]
+            return
+        self._pending -= 1
+        if self._pending == 0:
+            self.succeed(self._results())
+
+
+class AnyOf(_Condition):
+    """Fires when the first constituent event fires."""
+
+    def _check(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if not event._ok:
+            event._defused = True
+            self.fail(event._value)  # type: ignore[arg-type]
+            return
+        self.succeed(self._results())
+
+
+class Environment:
+    """Execution environment: event queue plus the simulation clock."""
+
+    def __init__(self, initial_time: float = 0.0):
+        self._now = float(initial_time)
+        self._queue: list[tuple[float, int, int, object]] = []
+        self._eids = itertools.count()
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    # -- factories ---------------------------------------------------------
+
+    def event(self) -> Event:
+        """Create a fresh, untriggered event."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: object = None) -> Timeout:
+        """Create an event that fires ``delay`` seconds from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator) -> Process:
+        """Register ``generator`` as a process and start it."""
+        return Process(self, generator)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        """Event firing once all of ``events`` have fired."""
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        """Event firing once any of ``events`` has fired."""
+        return AnyOf(self, events)
+
+    # -- scheduling --------------------------------------------------------
+
+    def _schedule(self, event: Event, delay: float = 0.0, priority: int = 1) -> None:
+        heapq.heappush(
+            self._queue, (self._now + delay, priority, next(self._eids), event)
+        )
+
+    def _schedule_callback(
+        self, event: Event, callback: Callable[[Event], None]
+    ) -> None:
+        """Deliver ``callback(event)`` for an already-processed event."""
+        shim = Event(self)
+        shim._ok = True
+        shim._value = None
+        shim.callbacks.append(lambda _shim: callback(event))
+        self._schedule(shim)
+
+    def run(self, until: Optional[float | Event] = None) -> object:
+        """Run the simulation.
+
+        ``until`` may be ``None`` (run until the queue drains), a time
+        (run until the clock reaches it), or an :class:`Event` (run until
+        it fires, returning its value or raising its failure).
+        """
+        stop_event: Optional[Event] = None
+        stop_time: Optional[float] = None
+        if isinstance(until, Event):
+            stop_event = until
+        elif until is not None:
+            stop_time = float(until)
+            if stop_time < self._now:
+                raise SimulationError("until lies in the past")
+
+        while self._queue:
+            time, _priority, _eid, item = self._queue[0]
+            if stop_time is not None and time > stop_time:
+                self._now = stop_time
+                return None
+            heapq.heappop(self._queue)
+            self._now = time
+            event = item  # type: ignore[assignment]
+            event._process()  # type: ignore[union-attr]
+            if not event._ok and not event._defused:  # type: ignore[union-attr]
+                raise event._value  # type: ignore[union-attr,misc]
+            if stop_event is not None and stop_event.triggered:
+                if stop_event._ok:
+                    return stop_event._value
+                stop_event._defused = True
+                raise stop_event._value  # type: ignore[misc]
+
+        if stop_event is not None and not stop_event.triggered:
+            raise SimulationError(
+                "event queue drained before the awaited event fired"
+            )
+        if stop_time is not None:
+            self._now = stop_time
+        return None
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def step(self) -> None:
+        """Process exactly one queued event (mainly for tests)."""
+        if not self._queue:
+            raise SimulationError("no scheduled events")
+        time, _priority, _eid, event = heapq.heappop(self._queue)
+        self._now = time
+        event._process()  # type: ignore[union-attr]

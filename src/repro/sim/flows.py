@@ -1,0 +1,421 @@
+"""Flow-level model of shared, capacitated resources.
+
+Every ongoing activity in the simulated cluster — a compute phase burning
+CPU cores, a local disk read, an HDFS transfer crossing two host links and
+the switch backbone — is modelled as a *flow*: a fixed amount of work that
+drains through a set of capacitated resources at a rate determined by
+max-min fair sharing. This is the classic fluid approximation used by
+flow-level network simulators, generalised so that CPU and disk bandwidth
+are handled by the same solver:
+
+* a **resource** has a capacity (cores, MB/s, ...);
+* a **flow** traverses one or more resources and may carry a per-flow rate
+  cap (e.g. a compute phase can use at most ``threads`` cores);
+* rates are assigned by progressive filling: raise all unfrozen flows
+  uniformly until some resource saturates (or a flow hits its cap), freeze
+  the affected flows, repeat.
+
+Whenever a flow starts or finishes, elapsed progress is settled and rates
+are recomputed; a single timer tracks the earliest upcoming completion.
+The model is deterministic and exact for piecewise-constant rate sets.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from typing import Iterable, Optional, TYPE_CHECKING
+
+from repro.errors import SimulationError
+from repro.sim.engine import Environment, Event
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.metrics import MetricRecorder
+
+__all__ = ["Resource", "Flow", "FlowNetwork"]
+
+#: Tolerance used when deciding a flow has fully drained.
+_EPSILON = 1e-9
+
+
+class Resource:
+    """A capacitated resource flows drain through (a link, disk, or CPU)."""
+
+    __slots__ = ("name", "capacity", "flows", "kind", "cached_usage", "_network")
+
+    def __init__(self, name: str, capacity: float, kind: str = "generic"):
+        if capacity <= 0:
+            raise SimulationError(f"resource {name!r} needs positive capacity")
+        self.name = name
+        self.capacity = float(capacity)
+        self.kind = kind
+        # Insertion-ordered (dict-as-set) for deterministic iteration.
+        self.flows: dict[Flow, None] = {}
+        #: Aggregate rate, refreshed by the network on every rebalance.
+        self.cached_usage = 0.0
+        self._network: Optional["FlowNetwork"] = None
+
+    @property
+    def usage(self) -> float:
+        """Aggregate rate of all flows currently crossing this resource."""
+        if self._network is not None:
+            self._network.flush()
+        return self.cached_usage
+
+    @property
+    def utilization(self) -> float:
+        """Fraction of capacity currently in use (0..1)."""
+        return self.usage / self.capacity
+
+    def __repr__(self) -> str:
+        return f"Resource({self.name!r}, cap={self.capacity:g}, kind={self.kind!r})"
+
+
+class Flow:
+    """A unit of work draining through a set of resources.
+
+    ``size`` is in the same unit the resource capacities are expressed per
+    second (bytes over a network link, core-seconds over a CPU). A flow
+    with ``size=None`` never completes; these model permanent background
+    load such as the paper's ``stress`` processes.
+    """
+
+    __slots__ = (
+        "id",
+        "resources",
+        "remaining",
+        "cap",
+        "weight",
+        "_rate",
+        "done",
+        "label",
+        "_network",
+    )
+
+    _ids = itertools.count()
+
+    def __init__(
+        self,
+        network: "FlowNetwork",
+        resources: tuple[Resource, ...],
+        size: Optional[float],
+        cap: Optional[float],
+        done: Optional[Event],
+        label: str,
+        weight: float = 1.0,
+    ):
+        self.id = next(Flow._ids)
+        self.resources = resources
+        self.remaining = None if size is None else float(size)
+        self.cap = cap
+        self.weight = weight
+        self._rate = 0.0
+        self.done = done
+        self.label = label
+        self._network = network
+
+    @property
+    def rate(self) -> float:
+        """Current max-min fair rate (forces any pending rebalance)."""
+        self._network.flush()
+        return self._rate
+
+    @property
+    def permanent(self) -> bool:
+        """Whether this flow never drains (background load)."""
+        return self.remaining is None
+
+    def cancel(self) -> None:
+        """Remove the flow without firing its completion event."""
+        self._network._remove(self, fire=False)
+
+    def __repr__(self) -> str:
+        return f"Flow({self.label!r}, rate={self.rate:g}, remaining={self.remaining})"
+
+
+class FlowNetwork:
+    """Max-min fair allocator over a set of shared resources."""
+
+    def __init__(self, env: Environment):
+        self.env = env
+        self.resources: dict[str, Resource] = {}
+        # Insertion-ordered (dict-as-set) for deterministic iteration.
+        self._flows: dict[Flow, None] = {}
+        self._last_settle = env.now
+        self._timer_version = 0
+        self._recorder: Optional["MetricRecorder"] = None
+        self._usage_dirty: set[Resource] = set()
+        self._dirty = False
+
+    # -- construction ------------------------------------------------------
+
+    def add_resource(self, name: str, capacity: float, kind: str = "generic") -> Resource:
+        """Register a resource; names must be unique."""
+        if name in self.resources:
+            raise SimulationError(f"duplicate resource {name!r}")
+        resource = Resource(name, capacity, kind)
+        resource._network = self
+        self.resources[name] = resource
+        return resource
+
+    def set_recorder(self, recorder: "MetricRecorder") -> None:
+        """Attach a metrics recorder notified on every rate change."""
+        self._recorder = recorder
+
+    # -- flow lifecycle ----------------------------------------------------
+
+    def start_flow(
+        self,
+        size: Optional[float],
+        resources: Iterable[Resource | str],
+        cap: Optional[float] = None,
+        label: str = "",
+        weight: float = 1.0,
+    ) -> Flow:
+        """Begin draining ``size`` units through ``resources``.
+
+        ``weight`` skews the fair share: a flow of weight w receives w
+        times the rate of a weight-1 flow competing on the same
+        bottleneck (subject to its cap). Weights < 1 model deprioritised
+        background load such as non-containerised processes on a node
+        whose cgroups favour YARN containers.
+
+        Returns the :class:`Flow`; ``flow.done`` is an event that fires
+        with the flow when it completes (absent for permanent flows).
+        """
+        resolved = tuple(
+            self.resources[r] if isinstance(r, str) else r for r in resources
+        )
+        if not resolved:
+            raise SimulationError("a flow needs at least one resource")
+        if cap is not None and cap <= 0:
+            raise SimulationError("flow cap must be positive")
+        if size is not None and size < 0:
+            raise SimulationError("flow size must be non-negative")
+        if weight <= 0:
+            raise SimulationError("flow weight must be positive")
+        done = None if size is None else self.env.event()
+        flow = Flow(self, resolved, size, cap, done, label, weight=weight)
+        self._settle()
+        if size is not None and size <= _EPSILON:
+            # Zero-sized transfers complete immediately.
+            flow.remaining = 0.0
+            done.succeed(flow)
+            return flow
+        self._flows[flow] = None
+        for resource in resolved:
+            resource.flows[flow] = None
+        self._mark_dirty()
+        return flow
+
+    def _remove(self, flow: Flow, fire: bool) -> None:
+        if flow not in self._flows:
+            return
+        self._settle()
+        self._flows.pop(flow, None)
+        for resource in flow.resources:
+            resource.flows.pop(flow, None)
+        if fire and flow.done is not None and not flow.done.triggered:
+            flow.done.succeed(flow)
+        self._mark_dirty()
+
+    # -- mechanics ---------------------------------------------------------
+
+    def _settle(self) -> None:
+        """Account progress made since the last rate change."""
+        elapsed = self.env.now - self._last_settle
+        if elapsed > 0:
+            finished = []
+            for flow in self._flows:
+                if flow.remaining is not None and flow._rate > 0:
+                    flow.remaining = max(0.0, flow.remaining - flow._rate * elapsed)
+                    if flow.remaining <= _EPSILON:
+                        finished.append(flow)
+            # Completions are normally handled by the timer; settling can
+            # still observe them when several flows tie exactly.
+            for flow in finished:
+                self._flows.pop(flow, None)
+                for resource in flow.resources:
+                    resource.flows.pop(flow, None)
+                if flow.done is not None and not flow.done.triggered:
+                    flow.done.succeed(flow)
+        self._last_settle = self.env.now
+
+    def _mark_dirty(self) -> None:
+        """Defer the rebalance to the end of the current timestep.
+
+        Several flows frequently start or finish at the same simulated
+        instant (e.g. a task staging in all its inputs); since no time
+        passes within a timestep, recomputing rates once afterwards is
+        exact and much cheaper. Reading any rate before then forces the
+        recomputation via :meth:`flush`.
+        """
+        if self._dirty:
+            return
+        self._dirty = True
+        shim = Event(self.env)
+        shim._ok = True
+        shim._value = None
+        shim.callbacks.append(lambda _event: self.flush())
+        # Priority 2: after every ordinary event at this timestamp.
+        self.env._schedule(shim, priority=2)
+
+    def flush(self) -> None:
+        """Apply any deferred rebalance immediately."""
+        if not self._dirty:
+            return
+        self._dirty = False
+        self._rebalance()
+
+    def _rebalance(self) -> None:
+        """Recompute all flow rates via progressive filling.
+
+        Bookkeeping is incremental so a rebalance costs roughly
+        O(sum of flow degrees + iterations * active resources), which keeps
+        large clusters (hundreds of resources, hundreds of flows) fast.
+        """
+        # Per-resource: aggregate weight of unfrozen flows and headroom
+        # left after already-frozen flows. A flow's rate at fill level
+        # ``lam`` is ``min(cap, weight * lam)`` (weighted max-min).
+        weight_sum: dict[Resource, float] = {}
+        room: dict[Resource, float] = {}
+        cap_sum: dict[Resource, float] = {}
+        for flow in self._flows:
+            flow._rate = 0.0
+            flow_cap = math.inf if flow.cap is None else flow.cap
+            for resource in flow.resources:
+                weight_sum[resource] = weight_sum.get(resource, 0.0) + flow.weight
+                room.setdefault(resource, resource.capacity)
+                cap_sum[resource] = cap_sum.get(resource, 0.0) + flow_cap
+        # A resource whose flows cannot collectively exceed its capacity
+        # can never become a bottleneck; dropping it from the candidate
+        # scan leaves only genuinely contended resources (big speed-up on
+        # clusters where most flows are cap-bound compute or heartbeats).
+        for resource, total_cap in cap_sum.items():
+            if total_cap <= resource.capacity + _EPSILON:
+                del weight_sum[resource]
+        unfrozen = dict(self._flows)
+        # Capped flows ordered by the level at which their cap binds.
+        capped = sorted(
+            (f for f in unfrozen if f.cap is not None),
+            key=lambda f: f.cap / f.weight,
+        )
+        cap_index = 0
+        level = 0.0
+        while unfrozen:
+            # Flows already frozen by a resource bottleneck must not
+            # contribute a (stale) cap bound.
+            while cap_index < len(capped) and capped[cap_index] not in unfrozen:
+                cap_index += 1
+            delta = math.inf
+            bottlenecks: list[Resource] = []
+            for resource, active_weight in weight_sum.items():
+                if active_weight <= _EPSILON:
+                    continue
+                candidate = max(
+                    (room[resource] - level * active_weight) / active_weight, 0.0
+                )
+                if candidate < delta - _EPSILON:
+                    delta = candidate
+                    bottlenecks = [resource]
+                elif candidate <= delta + _EPSILON:
+                    bottlenecks.append(resource)
+            cap_bound = math.inf
+            if cap_index < len(capped):
+                next_cap = capped[cap_index]
+                cap_bound = next_cap.cap / next_cap.weight - level
+            newly_frozen: list[Flow] = []
+            if cap_bound < delta - _EPSILON:
+                level += max(cap_bound, 0.0)
+            else:
+                if not bottlenecks:
+                    raise SimulationError("unconstrained flows in rebalance")
+                level += delta
+                for resource in bottlenecks:
+                    newly_frozen.extend(
+                        f for f in resource.flows if f in unfrozen
+                    )
+            # Every capped flow whose binding level has been reached
+            # freezes too (this also covers the cap_bound branch above).
+            while (
+                cap_index < len(capped)
+                and capped[cap_index].cap / capped[cap_index].weight
+                <= level + _EPSILON
+            ):
+                flow = capped[cap_index]
+                cap_index += 1
+                if flow in unfrozen:
+                    newly_frozen.append(flow)
+            if not newly_frozen:
+                # Defensive: never loop forever on degenerate float input.
+                newly_frozen = list(unfrozen)
+            for flow in newly_frozen:
+                if flow not in unfrozen:
+                    continue
+                rate = level * flow.weight
+                if flow.cap is not None:
+                    rate = min(rate, flow.cap)
+                flow._rate = rate
+                unfrozen.pop(flow, None)
+                for resource in flow.resources:
+                    room[resource] -= rate
+                    if resource in weight_sum:
+                        weight_sum[resource] -= flow.weight
+        # Refresh the cached per-resource usage: every touched resource's
+        # usage is capacity minus what is left of it; resources that lost
+        # their last flow drop back to zero.
+        for resource in self._usage_dirty:
+            resource.cached_usage = 0.0
+        for resource, remaining_room in room.items():
+            resource.cached_usage = resource.capacity - remaining_room
+        self._usage_dirty = set(room)
+        if self._recorder is not None:
+            self._recorder.snapshot(self.env.now)
+        self._schedule_next_completion()
+
+    def _schedule_next_completion(self) -> None:
+        self._timer_version += 1
+        version = self._timer_version
+        next_in = math.inf
+        for flow in self._flows:
+            if flow.remaining is not None and flow._rate > _EPSILON:
+                next_in = min(next_in, flow.remaining / flow._rate)
+        if math.isinf(next_in):
+            return
+        # Clamp the delay to a few ULPs of the current clock: a delay
+        # below the clock's float resolution would not advance time, the
+        # settle step would see zero elapsed time, and the timer would
+        # re-fire at the same instant forever.
+        min_tick = max(1.0, abs(self.env.now)) * 1e-12
+        next_in = max(next_in, min_tick)
+
+        def fire(_event: Event) -> None:
+            if version != self._timer_version:
+                return  # A newer rebalance superseded this timer.
+            self._settle()
+            done = [
+                f
+                for f in list(self._flows)
+                if f.remaining is not None and f.remaining <= _EPSILON
+            ]
+            for flow in done:
+                self._flows.pop(flow, None)
+                for resource in flow.resources:
+                    resource.flows.pop(flow, None)
+                if flow.done is not None and not flow.done.triggered:
+                    flow.done.succeed(flow)
+            self._rebalance()
+
+        timer = self.env.timeout(max(next_in, 0.0))
+        timer._add_callback(fire)
+
+    # -- introspection -----------------------------------------------------
+
+    @property
+    def active_flows(self) -> tuple[Flow, ...]:
+        """Snapshot of the currently active flows."""
+        return tuple(self._flows)
+
+    def usage_of(self, name: str) -> float:
+        """Current aggregate rate through resource ``name``."""
+        return self.resources[name].usage

@@ -1,0 +1,135 @@
+"""Utilisation accounting for simulated resources.
+
+The paper instruments its EC2 machines with ``uptime`` (CPU load),
+``iostat`` (I/O utilisation) and ``ifstat`` (network throughput) to produce
+Figure 6. In the simulation we can do better than sampling: rates are
+piecewise constant between flow events, so integrating usage over time is
+exact. The recorder keeps, per resource, the running integral of usage and
+an optional step series for plotting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.sim.flows import FlowNetwork, Resource
+
+__all__ = ["ResourceUsage", "MetricRecorder"]
+
+
+@dataclass
+class ResourceUsage:
+    """Accumulated usage of one resource."""
+
+    name: str
+    kind: str
+    capacity: float
+    #: Integral of the usage rate over time (e.g. core-seconds, bytes).
+    integral: float = 0.0
+    #: Peak instantaneous usage rate observed.
+    peak: float = 0.0
+    #: Step series of (time, rate) points, recorded when enabled.
+    series: list[tuple[float, float]] = field(default_factory=list)
+
+    def average(self, duration: float) -> float:
+        """Mean usage rate over ``duration`` seconds."""
+        return self.integral / duration if duration > 0 else 0.0
+
+    def average_utilization(self, duration: float) -> float:
+        """Mean usage as a fraction of capacity over ``duration``."""
+        return self.average(duration) / self.capacity
+
+
+class MetricRecorder:
+    """Integrates resource usage over simulated time.
+
+    Attach with :meth:`FlowNetwork.set_recorder`; the network calls
+    :meth:`snapshot` on every rate change.
+    """
+
+    def __init__(self, network: FlowNetwork, keep_series: bool = False):
+        self._network = network
+        self._keep_series = keep_series
+        self._last_time = network.env.now
+        self._last_rates: dict[str, float] = {}
+        self.usages: dict[str, ResourceUsage] = {}
+        self.started_at = network.env.now
+        network.set_recorder(self)
+        self.snapshot(network.env.now)
+
+    def _usage_for(self, resource: Resource) -> ResourceUsage:
+        usage = self.usages.get(resource.name)
+        if usage is None:
+            usage = ResourceUsage(resource.name, resource.kind, resource.capacity)
+            self.usages[resource.name] = usage
+        return usage
+
+    def snapshot(self, now: float) -> None:
+        """Settle the integral up to ``now`` and re-read current rates."""
+        elapsed = now - self._last_time
+        if elapsed > 0:
+            for name, rate in self._last_rates.items():
+                if rate:
+                    self.usages[name].integral += rate * elapsed
+        self._last_time = now
+        new_rates: dict[str, float] = {}
+        for resource in self._network.resources.values():
+            rate = resource.usage
+            usage = self._usage_for(resource)
+            usage.peak = max(usage.peak, rate)
+            new_rates[resource.name] = rate
+            if self._keep_series:
+                series = usage.series
+                if not series or series[-1][1] != rate:
+                    series.append((now, rate))
+        self._last_rates = new_rates
+
+    def finish(self, now: Optional[float] = None) -> None:
+        """Settle integrals up to ``now`` (defaults to the current clock)."""
+        self.snapshot(self._network.env.now if now is None else now)
+
+    # -- report helpers ----------------------------------------------------
+
+    def duration(self) -> float:
+        """Seconds covered by this recorder so far."""
+        return self._last_time - self.started_at
+
+    def average_rate(self, name: str) -> float:
+        """Mean usage rate of resource ``name`` over the recorded window."""
+        usage = self.usages.get(name)
+        if usage is None:
+            return 0.0
+        return usage.average(self.duration())
+
+    def average_utilization(self, name: str) -> float:
+        """Mean utilisation (0..1) of resource ``name``."""
+        usage = self.usages.get(name)
+        if usage is None:
+            return 0.0
+        return usage.average_utilization(self.duration())
+
+    def aggregate(self, kind: str, prefix: str = "") -> dict[str, float]:
+        """Summarise all resources of ``kind`` whose names share ``prefix``.
+
+        Returns mean rate, mean utilisation and peak rate averaged across
+        the matching resources — the quantities plotted in Figure 6.
+        """
+        matching = [
+            usage
+            for usage in self.usages.values()
+            if usage.kind == kind and usage.name.startswith(prefix)
+        ]
+        duration = self.duration()
+        if not matching or duration <= 0:
+            return {"mean_rate": 0.0, "mean_utilization": 0.0, "peak_rate": 0.0}
+        mean_rate = sum(u.average(duration) for u in matching) / len(matching)
+        mean_util = sum(u.average_utilization(duration) for u in matching) / len(
+            matching
+        )
+        peak = max(u.peak for u in matching)
+        return {
+            "mean_rate": mean_rate,
+            "mean_utilization": mean_util,
+            "peak_rate": peak,
+        }

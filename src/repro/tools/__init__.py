@@ -1,0 +1,15 @@
+"""Black-box tool performance profiles."""
+
+from repro.tools.astronomy import astronomy_registry
+from repro.tools.bioinformatics import bioinformatics_registry
+from repro.tools.generic import default_registry, generic_registry
+from repro.tools.profile import ToolProfile, ToolRegistry
+
+__all__ = [
+    "ToolProfile",
+    "ToolRegistry",
+    "astronomy_registry",
+    "bioinformatics_registry",
+    "generic_registry",
+    "default_registry",
+]

@@ -1,0 +1,98 @@
+"""Profiles of the Montage toolkit binaries (Sec. 4.3).
+
+Montage assembles sky mosaics from survey images. A 0.25-degree workflow
+is small: eleven input images of a few MB each, single-threaded tools
+with runtimes of seconds to a few minutes on an unloaded m3.large. The
+Fig. 9 experiment derives all its signal from how those runtimes stretch
+on CPU- or I/O-stressed nodes, so the profiles below make projection and
+background modelling CPU-heavy and give every step noticeable disk
+traffic relative to its input.
+"""
+
+from __future__ import annotations
+
+from repro.tools.profile import ToolProfile, ToolRegistry
+
+__all__ = ["astronomy_registry"]
+
+
+def astronomy_registry() -> ToolRegistry:
+    """Registry with the Montage binaries used by the DAX generator."""
+    registry = ToolRegistry()
+    registry.register(ToolProfile(
+        name="mProjectPP",
+        work_per_mb=2.0,
+        fixed_work=2.0,
+        max_threads=1,
+        memory_mb=600.0,
+        output_ratio=1.7,          # reprojected image + area file
+        scratch_mb_per_input_mb=1.0,
+    ))
+    registry.register(ToolProfile(
+        name="mDiffFit",
+        work_per_mb=0.5,
+        fixed_work=1.0,
+        max_threads=1,
+        memory_mb=400.0,
+        output_ratio=0.05,         # fit parameters
+        scratch_mb_per_input_mb=0.8,
+    ))
+    registry.register(ToolProfile(
+        name="mConcatFit",
+        work_per_mb=0.1,
+        fixed_work=1.0,
+        max_threads=1,
+        memory_mb=300.0,
+        output_ratio=1.0,
+    ))
+    registry.register(ToolProfile(
+        name="mBgModel",
+        work_per_mb=1.5,
+        fixed_work=2.0,
+        max_threads=1,
+        memory_mb=500.0,
+        output_ratio=1.0,
+    ))
+    registry.register(ToolProfile(
+        name="mBackground",
+        work_per_mb=0.8,
+        fixed_work=1.0,
+        max_threads=1,
+        memory_mb=400.0,
+        output_ratio=1.0,
+        scratch_mb_per_input_mb=0.6,
+    ))
+    registry.register(ToolProfile(
+        name="mImgtbl",
+        work_per_mb=0.02,
+        fixed_work=1.0,
+        max_threads=1,
+        memory_mb=300.0,
+        output_ratio=0.02,
+    ))
+    registry.register(ToolProfile(
+        name="mAdd",
+        work_per_mb=0.08,
+        fixed_work=1.5,
+        max_threads=1,
+        memory_mb=900.0,
+        output_ratio=1.1,
+        scratch_mb_per_input_mb=0.5,
+    ))
+    registry.register(ToolProfile(
+        name="mShrink",
+        work_per_mb=0.1,
+        fixed_work=1.0,
+        max_threads=1,
+        memory_mb=400.0,
+        output_ratio=0.25,
+    ))
+    registry.register(ToolProfile(
+        name="mJPEG",
+        work_per_mb=0.1,
+        fixed_work=0.5,
+        max_threads=1,
+        memory_mb=300.0,
+        output_ratio=0.1,
+    ))
+    return registry

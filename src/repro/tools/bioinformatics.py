@@ -1,0 +1,129 @@
+"""Profiles of the genomics / transcriptomics tools used in Sections 4.1-4.2.
+
+Calibration anchors (absolute numbers are *not* the reproduction target,
+shapes are — see DESIGN.md):
+
+* The SNV-calling chain is tuned so that one 8 GB sample takes ~340
+  minutes on a single m3.large (2 cores), the single-node anchor of
+  Table 2. That works out to roughly 5 reference core-seconds per MB
+  across the whole chain, dominated by alignment and variant calling,
+  which the paper describes as CPU-bound and multithreaded.
+* The TRAPLINE RNA-seq chain is tuned so six samples (~1.7 GB each)
+  take ~230 minutes on one c3.2xlarge (Fig. 8's single-node anchor),
+  dominated by TopHat2, which is also a heavy producer of intermediate
+  files — the behaviour behind Hi-WAY's local-SSD advantage.
+"""
+
+from __future__ import annotations
+
+from repro.tools.profile import ToolProfile, ToolRegistry
+
+__all__ = ["bioinformatics_registry"]
+
+
+def bioinformatics_registry() -> ToolRegistry:
+    """Registry with every bioinformatics tool named in the paper."""
+    registry = ToolRegistry()
+
+    # --- variant calling (Sec. 4.1) --------------------------------------
+    registry.register(ToolProfile(
+        name="bowtie2",
+        work_per_mb=4.5,
+        fixed_work=30.0,
+        max_threads=16,
+        # Fits the 1 GB worker containers of the Sec. 4.1 experiments
+        # (alignment against a pre-distributed, memory-mapped index).
+        memory_mb=900.0,
+        output_ratio=0.4,         # compressed BAM alignments
+        scratch_mb_per_input_mb=0.2,
+    ))
+    registry.register(ToolProfile(
+        name="samtools-sort",
+        work_per_mb=0.15,
+        fixed_work=5.0,
+        max_threads=4,
+        memory_mb=850.0,
+        output_ratio=0.9,         # sorted BAM
+        scratch_mb_per_input_mb=1.0,
+    ))
+    registry.register(ToolProfile(
+        name="varscan",
+        work_per_mb=0.3,
+        fixed_work=10.0,
+        max_threads=4,
+        memory_mb=900.0,
+        output_ratio=0.05,        # VCF is small
+    ))
+    registry.register(ToolProfile(
+        name="annovar",
+        work_per_mb=0.8,
+        fixed_work=15.0,
+        max_threads=1,
+        memory_mb=800.0,
+        output_ratio=1.2,         # annotated variants
+    ))
+    # Referential compression used to shrink intermediate alignments in
+    # the second Sec. 4.1 experiment.
+    registry.register(ToolProfile(
+        name="cram-compress",
+        work_per_mb=0.15,
+        fixed_work=2.0,
+        max_threads=2,
+        memory_mb=900.0,
+        output_ratio=0.45,
+    ))
+
+    # --- RNA-seq / TRAPLINE (Sec. 4.2) ------------------------------------
+    registry.register(ToolProfile(
+        name="fastqc",
+        work_per_mb=0.3,
+        fixed_work=5.0,
+        max_threads=2,
+        memory_mb=900.0,
+        output_ratio=0.01,
+    ))
+    registry.register(ToolProfile(
+        name="trimmomatic",
+        work_per_mb=1.0,
+        fixed_work=8.0,
+        max_threads=4,
+        memory_mb=1_500.0,
+        output_ratio=0.92,
+    ))
+    registry.register(ToolProfile(
+        name="tophat2",
+        work_per_mb=6.5,
+        fixed_work=60.0,
+        max_threads=8,
+        memory_mb=8_000.0,
+        output_ratio=0.8,
+        # "generates large amounts of intermediate files" (Sec. 4.2).
+        scratch_mb_per_input_mb=12.0,
+    ))
+    registry.register(ToolProfile(
+        name="cufflinks",
+        work_per_mb=2.7,
+        fixed_work=30.0,
+        max_threads=8,
+        memory_mb=4_000.0,
+        output_ratio=0.15,
+        scratch_mb_per_input_mb=0.5,
+    ))
+    registry.register(ToolProfile(
+        name="cuffmerge",
+        work_per_mb=0.5,
+        fixed_work=20.0,
+        max_threads=4,
+        memory_mb=2_000.0,
+        output_ratio=0.6,
+    ))
+    registry.register(ToolProfile(
+        name="cuffdiff",
+        work_per_mb=1.5,
+        fixed_work=60.0,
+        max_threads=8,
+        memory_mb=6_000.0,
+        output_ratio=0.3,
+        scratch_mb_per_input_mb=0.5,
+    ))
+    return registry

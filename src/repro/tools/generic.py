@@ -1,0 +1,76 @@
+"""Generic shell-level tools for examples, tests and iterative workflows.
+
+Cuneiform integrates code in arbitrary languages (Bash, Python, R, ...)
+as black boxes; these lightweight profiles stand in for such snippets.
+The k-means profiles support the iterative workflow of Sec. 3.3.
+"""
+
+from __future__ import annotations
+
+from repro.tools.profile import ToolProfile, ToolRegistry
+
+__all__ = ["generic_registry", "default_registry"]
+
+
+def generic_registry() -> ToolRegistry:
+    """Registry with small utility tools."""
+    registry = ToolRegistry()
+    for name, work_per_mb, output_ratio in (
+        ("sh", 0.01, 1.0),
+        ("echo", 0.0, 0.0),
+        ("cat", 0.02, 1.0),
+        ("grep", 0.05, 0.1),
+        ("sort", 0.2, 1.0),
+        ("gzip", 0.3, 0.35),
+        ("python", 0.5, 1.0),
+        ("rscript", 0.6, 0.5),
+    ):
+        registry.register(ToolProfile(
+            name=name,
+            work_per_mb=work_per_mb,
+            fixed_work=0.5,
+            max_threads=1,
+            memory_mb=256.0,
+            output_ratio=output_ratio,
+            fixed_output_mb=0.01,
+        ))
+    # k-means building blocks (iterative workflow, Sec. 3.3 / [9]).
+    registry.register(ToolProfile(
+        name="kmeans-assign",
+        work_per_mb=2.0,
+        fixed_work=2.0,
+        max_threads=2,
+        memory_mb=800.0,
+        output_ratio=0.4,
+    ))
+    registry.register(ToolProfile(
+        name="kmeans-update",
+        work_per_mb=0.8,
+        fixed_work=1.0,
+        max_threads=1,
+        memory_mb=500.0,
+        output_ratio=0.02,
+        fixed_output_mb=0.1,
+    ))
+    registry.register(ToolProfile(
+        name="kmeans-converged",
+        work_per_mb=0.1,
+        fixed_work=0.5,
+        max_threads=1,
+        memory_mb=200.0,
+        output_ratio=0.0,
+        fixed_output_mb=0.001,
+    ))
+    return registry
+
+
+def default_registry() -> ToolRegistry:
+    """Every built-in tool profile: generic + bioinformatics + astronomy."""
+    from repro.tools.astronomy import astronomy_registry
+    from repro.tools.bioinformatics import bioinformatics_registry
+
+    return (
+        generic_registry()
+        .merged_with(bioinformatics_registry())
+        .merged_with(astronomy_registry())
+    )

@@ -1,0 +1,113 @@
+"""Black-box performance profiles for external tools.
+
+Hi-WAY treats tools as black boxes (Sec. 1): the engine never inspects
+what a task does, only how long it runs, what it reads and writes, and
+what it needs to be installed. A :class:`ToolProfile` captures exactly
+that surface, which is all the simulation needs:
+
+* ``work_per_mb`` + ``fixed_work`` — CPU cost as a function of input size
+  (reference core-seconds; a node's speed factor divides this);
+* ``max_threads`` — how far the tool scales with cores;
+* ``memory_mb`` — resident set; a container smaller than this OOMs;
+* ``output_ratio`` / ``fixed_output_mb`` — how large the outputs are;
+* ``scratch_mb_per_input_mb`` — intermediate file traffic written and
+  re-read during execution (TopHat2's temporary files are the canonical
+  example, and the mechanism behind the CloudMan gap in Fig. 8).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import WorkflowError
+
+__all__ = ["ToolProfile", "ToolRegistry"]
+
+
+@dataclass(frozen=True)
+class ToolProfile:
+    """Cost model of one command-line tool."""
+
+    name: str
+    #: Reference core-seconds of compute per MB of aggregate input.
+    work_per_mb: float
+    #: Reference core-seconds consumed regardless of input size.
+    fixed_work: float = 1.0
+    #: Threads the tool can exploit (1 = single-threaded).
+    max_threads: int = 1
+    #: Resident memory required to run at all.
+    memory_mb: float = 512.0
+    #: Aggregate output size as a fraction of aggregate input size.
+    output_ratio: float = 1.0
+    #: Constant MB added to the aggregate output size.
+    fixed_output_mb: float = 0.0
+    #: Local scratch I/O (MB written+read per MB of input) during execution.
+    scratch_mb_per_input_mb: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.work_per_mb < 0 or self.fixed_work < 0:
+            raise WorkflowError(f"{self.name}: work must be non-negative")
+        if self.max_threads < 1:
+            raise WorkflowError(f"{self.name}: max_threads must be >= 1")
+        if self.output_ratio < 0 or self.fixed_output_mb < 0:
+            raise WorkflowError(f"{self.name}: output sizes must be non-negative")
+
+    def work_for(self, input_mb: float) -> float:
+        """Total compute work (reference core-seconds) for ``input_mb``."""
+        return self.fixed_work + self.work_per_mb * max(input_mb, 0.0)
+
+    def total_output_mb(self, input_mb: float) -> float:
+        """Aggregate size of all outputs for ``input_mb`` of input."""
+        return self.fixed_output_mb + self.output_ratio * max(input_mb, 0.0)
+
+    def output_sizes(self, input_mb: float, n_outputs: int) -> list[float]:
+        """Split the aggregate output size evenly over ``n_outputs`` files.
+
+        Workloads that know better (e.g. a DAX file with explicit sizes)
+        bypass this via per-task size hints.
+        """
+        if n_outputs <= 0:
+            return []
+        share = self.total_output_mb(input_mb) / n_outputs
+        return [share] * n_outputs
+
+    def scratch_mb(self, input_mb: float) -> float:
+        """Intermediate disk traffic generated while running."""
+        return self.scratch_mb_per_input_mb * max(input_mb, 0.0)
+
+
+class ToolRegistry:
+    """Name-indexed collection of tool profiles.
+
+    Mirrors the role of the software environment Chef recipes install
+    (Sec. 3.6): a task can only run on a node where its tool is present.
+    """
+
+    def __init__(self):
+        self._profiles: dict[str, ToolProfile] = {}
+
+    def register(self, profile: ToolProfile) -> ToolProfile:
+        """Add (or replace) a profile; returns it for chaining."""
+        self._profiles[profile.name] = profile
+        return profile
+
+    def get(self, name: str) -> ToolProfile:
+        """Look up a profile; unknown tools are a workflow error."""
+        try:
+            return self._profiles[name]
+        except KeyError:
+            raise WorkflowError(f"unknown tool {name!r}") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._profiles
+
+    def names(self) -> list[str]:
+        """All registered tool names, sorted."""
+        return sorted(self._profiles)
+
+    def merged_with(self, other: "ToolRegistry") -> "ToolRegistry":
+        """A new registry containing both sets (``other`` wins ties)."""
+        merged = ToolRegistry()
+        merged._profiles.update(self._profiles)
+        merged._profiles.update(other._profiles)
+        return merged

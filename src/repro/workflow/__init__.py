@@ -1,0 +1,17 @@
+"""Engine-facing workflow model: tasks, DAGs, task sources."""
+
+from repro.workflow.model import (
+    StaticTaskSource,
+    TaskSource,
+    TaskSpec,
+    WorkflowGraph,
+    linear_chain,
+)
+
+__all__ = [
+    "TaskSpec",
+    "WorkflowGraph",
+    "TaskSource",
+    "StaticTaskSource",
+    "linear_chain",
+]

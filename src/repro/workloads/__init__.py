@@ -1,0 +1,39 @@
+"""The paper's evaluation workloads: SNV calling, RNA-seq, Montage, k-means."""
+
+from repro.workloads.kmeans import KMEANS_TOOLS, kmeans_cuneiform, kmeans_inputs
+from repro.workloads.montage import (
+    MONTAGE_TOOLS,
+    images_for_degree,
+    montage_dax,
+    montage_inputs,
+)
+from repro.workloads.rnaseq import (
+    RNASEQ_TOOLS,
+    trapline_galaxy_json,
+    trapline_input_bindings,
+    trapline_inputs,
+)
+from repro.workloads.snv import (
+    SNV_TOOLS,
+    sample_read_files,
+    snv_cuneiform,
+    snv_graph,
+)
+
+__all__ = [
+    "SNV_TOOLS",
+    "sample_read_files",
+    "snv_cuneiform",
+    "snv_graph",
+    "RNASEQ_TOOLS",
+    "trapline_galaxy_json",
+    "trapline_input_bindings",
+    "trapline_inputs",
+    "MONTAGE_TOOLS",
+    "montage_dax",
+    "montage_inputs",
+    "images_for_degree",
+    "KMEANS_TOOLS",
+    "kmeans_cuneiform",
+    "kmeans_inputs",
+]

@@ -1,0 +1,64 @@
+"""The iterative k-means workflow (Sec. 3.3, published in [9]).
+
+k-means iteratively refines an initial random clustering until
+convergence — only expressible as a workflow through conditional task
+execution and unbounded iteration, which is exactly the feature the
+Cuneiform frontend provides. Each iteration assigns points to centroids
+(parallelisable over data partitions), recomputes centroids, and checks
+convergence; the convergence task's ``empty-until`` annotation stands in
+for the data-dependent check of the real black-box tool.
+"""
+
+from __future__ import annotations
+
+__all__ = ["KMEANS_TOOLS", "kmeans_cuneiform", "kmeans_inputs"]
+
+#: Executables the workflow needs on every node.
+KMEANS_TOOLS = ("kmeans-assign", "kmeans-update", "kmeans-converged")
+
+
+def kmeans_inputs(partitions: int = 4, mb_per_partition: float = 64.0) -> dict[str, float]:
+    """Input manifest: point-partition path -> size in MB."""
+    files = {
+        f"/data/points/part-{index:02d}.csv": mb_per_partition
+        for index in range(partitions)
+    }
+    files["/data/points/centroids-seed.csv"] = 0.1
+    return files
+
+
+def kmeans_cuneiform(partitions: int = 4, iterations_until_convergence: int = 4) -> str:
+    """Render the iterative k-means workflow as a Cuneiform script.
+
+    ``iterations_until_convergence`` controls when the convergence task
+    first reports success (the simulated stand-in for the real residual
+    threshold check).
+    """
+    parts = " ".join(
+        f"'/data/points/part-{index:02d}.csv'" for index in range(partitions)
+    )
+    return f"""
+% k-means clustering: iteratively refine centroids until convergence [9].
+deftask assign( labels : points centroids )in bash *{{
+    tool: kmeans-assign
+}}*
+deftask update( centroids : <labels> )in bash *{{
+    tool: kmeans-update
+}}*
+deftask check-converged( flag : old new )in bash *{{
+    tool: kmeans-converged
+    output: empty-until {iterations_until_convergence}
+}}*
+
+points = [{parts}];
+
+defun iterate( centroids ) =
+    let labels = assign( points: points, centroids: centroids );
+    let next = update( labels: labels );
+    if check-converged( old: centroids, new: next )
+    then next
+    else iterate( centroids: next )
+    end;
+
+iterate( centroids: '/data/points/centroids-seed.csv' );
+"""

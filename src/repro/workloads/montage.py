@@ -1,0 +1,171 @@
+"""Montage mosaic workflows as Pegasus DAX (Sec. 4.3).
+
+The Montage toolkit generates DAX workflows that assemble sky mosaics:
+telescope images are re-projected onto a common plane (mProjectPP),
+overlapping pairs are analysed (mDiffFit), a background model is fitted
+(mConcatFit + mBgModel), images are background-corrected (mBackground)
+and finally merged (mImgtbl + mAdd), shrunk and rendered (mShrink,
+mJPEG). A 0.25-degree mosaic yields eleven input images, so the maximum
+degree of parallelism is eleven during the projection and background
+correction phases — the exact shape of the Fig. 9 workflow.
+"""
+
+from __future__ import annotations
+
+__all__ = ["MONTAGE_TOOLS", "montage_dax", "montage_inputs", "images_for_degree"]
+
+#: Executables the workflow needs on every node.
+MONTAGE_TOOLS = (
+    "mProjectPP",
+    "mDiffFit",
+    "mConcatFit",
+    "mBgModel",
+    "mBackground",
+    "mImgtbl",
+    "mAdd",
+    "mShrink",
+    "mJPEG",
+)
+
+#: Approximate 2MASS tile size in MB.
+IMAGE_MB = 4.2
+
+
+def images_for_degree(degree: float) -> int:
+    """Number of input tiles for a mosaic of the given size.
+
+    Calibrated so the paper's 0.25-degree workflow has parallelism 11.
+    """
+    return max(3, round(degree * 44))
+
+
+def montage_inputs(degree: float = 0.25) -> dict[str, float]:
+    """Input manifest: raw image path -> size in MB."""
+    return {
+        f"/data/2mass/raw-{index:02d}.fits": IMAGE_MB
+        for index in range(images_for_degree(degree))
+    }
+
+
+def _mb(size_mb: float) -> str:
+    """MB -> DAX byte-count attribute."""
+    return str(int(size_mb * 1.0e6))
+
+
+def montage_dax(degree: float = 0.25) -> str:
+    """Render the mosaic workflow as Pegasus DAX XML."""
+    n = images_for_degree(degree)
+    jobs: list[str] = []
+    children: list[str] = []
+
+    projected = [f"/work/proj-{i:02d}.fits" for i in range(n)]
+    proj_mb = IMAGE_MB * 1.7
+    for i in range(n):
+        jobs.append(
+            f'  <job id="proj{i:02d}" name="mProjectPP">\n'
+            f'    <uses file="/data/2mass/raw-{i:02d}.fits" link="input" '
+            f'size="{_mb(IMAGE_MB)}"/>\n'
+            f'    <uses file="{projected[i]}" link="output" size="{_mb(proj_mb)}"/>\n'
+            f"  </job>"
+        )
+
+    # Overlap analysis on adjacent tile pairs.
+    fits = []
+    for i in range(n - 1):
+        fit = f"/work/fit-{i:02d}.txt"
+        fits.append(fit)
+        jobs.append(
+            f'  <job id="diff{i:02d}" name="mDiffFit">\n'
+            f'    <uses file="{projected[i]}" link="input"/>\n'
+            f'    <uses file="{projected[i + 1]}" link="input"/>\n'
+            f'    <uses file="{fit}" link="output" size="{_mb(0.2)}"/>\n'
+            f"  </job>"
+        )
+        children.append(
+            f'  <child ref="diff{i:02d}">\n'
+            f'    <parent ref="proj{i:02d}"/>\n'
+            f'    <parent ref="proj{i + 1:02d}"/>\n'
+            f"  </child>"
+        )
+
+    concat_uses = "".join(f'    <uses file="{fit}" link="input"/>\n' for fit in fits)
+    concat_parents = "".join(
+        f'    <parent ref="diff{i:02d}"/>\n' for i in range(n - 1)
+    )
+    jobs.append(
+        f'  <job id="concat" name="mConcatFit">\n{concat_uses}'
+        f'    <uses file="/work/fits.tbl" link="output" size="{_mb(1.5)}"/>\n'
+        f"  </job>"
+    )
+    children.append(f'  <child ref="concat">\n{concat_parents}  </child>')
+
+    jobs.append(
+        '  <job id="bgmodel" name="mBgModel">\n'
+        '    <uses file="/work/fits.tbl" link="input"/>\n'
+        f'    <uses file="/work/corrections.tbl" link="output" size="{_mb(1.0)}"/>\n'
+        "  </job>"
+    )
+    children.append(
+        '  <child ref="bgmodel">\n    <parent ref="concat"/>\n  </child>'
+    )
+
+    corrected = [f"/work/corr-{i:02d}.fits" for i in range(n)]
+    for i in range(n):
+        jobs.append(
+            f'  <job id="bg{i:02d}" name="mBackground">\n'
+            f'    <uses file="{projected[i]}" link="input"/>\n'
+            '    <uses file="/work/corrections.tbl" link="input"/>\n'
+            f'    <uses file="{corrected[i]}" link="output" size="{_mb(proj_mb)}"/>\n'
+            f"  </job>"
+        )
+        children.append(
+            f'  <child ref="bg{i:02d}">\n'
+            f'    <parent ref="proj{i:02d}"/>\n'
+            '    <parent ref="bgmodel"/>\n'
+            "  </child>"
+        )
+
+    imgtbl_uses = "".join(
+        f'    <uses file="{path}" link="input"/>\n' for path in corrected
+    )
+    imgtbl_parents = "".join(f'    <parent ref="bg{i:02d}"/>\n' for i in range(n))
+    jobs.append(
+        f'  <job id="imgtbl" name="mImgtbl">\n{imgtbl_uses}'
+        f'    <uses file="/work/images.tbl" link="output" size="{_mb(0.5)}"/>\n'
+        "  </job>"
+    )
+    children.append(f'  <child ref="imgtbl">\n{imgtbl_parents}  </child>')
+
+    add_uses = imgtbl_uses + '    <uses file="/work/images.tbl" link="input"/>\n'
+    mosaic_mb = proj_mb * n * 1.1
+    jobs.append(
+        f'  <job id="add" name="mAdd">\n{add_uses}'
+        f'    <uses file="/out/mosaic.fits" link="output" size="{_mb(mosaic_mb)}"/>\n'
+        "  </job>"
+    )
+    children.append(
+        f'  <child ref="add">\n{imgtbl_parents}'
+        '    <parent ref="imgtbl"/>\n  </child>'
+    )
+
+    jobs.append(
+        '  <job id="shrink" name="mShrink">\n'
+        '    <uses file="/out/mosaic.fits" link="input"/>\n'
+        f'    <uses file="/out/mosaic-small.fits" link="output" '
+        f'size="{_mb(mosaic_mb * 0.25)}"/>\n'
+        "  </job>"
+    )
+    children.append('  <child ref="shrink">\n    <parent ref="add"/>\n  </child>')
+    jobs.append(
+        '  <job id="jpeg" name="mJPEG">\n'
+        '    <uses file="/out/mosaic-small.fits" link="input"/>\n'
+        f'    <uses file="/out/mosaic.jpg" link="output" '
+        f'size="{_mb(mosaic_mb * 0.025)}"/>\n'
+        "  </job>"
+    )
+    children.append('  <child ref="jpeg">\n    <parent ref="shrink"/>\n  </child>')
+
+    body = "\n".join(jobs) + "\n" + "\n".join(children)
+    return (
+        f'<adag name="montage-{degree}">\n{body}\n</adag>\n'
+    )

@@ -1,0 +1,143 @@
+"""The TRAPLINE RNA-seq workflow as a Galaxy export (Sec. 4.2).
+
+Wolfien et al.'s TRAPLINE pipeline compares two genomic samples, each in
+triplicate: quality control and trimming per replicate, TopHat2 mapping,
+Cufflinks transcript assembly, then a merge and a differential
+comparison — giving the workflow its degree of parallelism of six across
+most of its parts, with a sequential tail.
+
+The generator emits the same JSON structure Galaxy's export produces, so
+it exercises the real Galaxy frontend (``repro.langs.galaxy``).
+"""
+
+from __future__ import annotations
+
+import json
+
+__all__ = [
+    "RNASEQ_TOOLS",
+    "trapline_galaxy_json",
+    "trapline_input_bindings",
+    "trapline_inputs",
+    "REPLICATES_PER_SAMPLE",
+    "MB_PER_REPLICATE",
+]
+
+#: Executables the workflow needs on every node.
+RNASEQ_TOOLS = (
+    "fastqc",
+    "trimmomatic",
+    "tophat2",
+    "cufflinks",
+    "cuffmerge",
+    "cuffdiff",
+)
+
+#: Two conditions (young vs aged mice), three replicates each.
+REPLICATES_PER_SAMPLE = 3
+#: Total input "more than ten gigabytes" across six replicates.
+MB_PER_REPLICATE = 1_750.0
+
+
+def _replicate_labels() -> list[str]:
+    return [
+        f"{condition}-rep{replicate}"
+        for condition in ("young", "aged")
+        for replicate in range(REPLICATES_PER_SAMPLE)
+    ]
+
+
+def trapline_inputs(mb_per_replicate: float = MB_PER_REPLICATE) -> dict[str, float]:
+    """Input manifest: GEO read file path -> size in MB."""
+    return {
+        f"/data/geo/GSE62762/{label}.fastq": mb_per_replicate
+        for label in _replicate_labels()
+    }
+
+
+def trapline_input_bindings() -> dict[str, str]:
+    """Galaxy input-step label -> concrete file path."""
+    return {
+        f"reads-{label}": f"/data/geo/GSE62762/{label}.fastq"
+        for label in _replicate_labels()
+    }
+
+
+def trapline_galaxy_json() -> str:
+    """The TRAPLINE workflow as a Galaxy JSON export."""
+    steps: dict[str, dict] = {}
+    step_id = 0
+
+    def add_step(step: dict) -> int:
+        nonlocal step_id
+        step["id"] = step_id
+        steps[str(step_id)] = step
+        step_id += 1
+        return step["id"]
+
+    cufflinks_ids = []
+    tophat_ids = []
+    for label in _replicate_labels():
+        input_id = add_step({
+            "type": "data_input",
+            "label": f"reads-{label}",
+            "outputs": [{"name": "output"}],
+        })
+        fastqc_id = add_step({
+            "type": "tool",
+            "tool_id": "fastqc",
+            "input_connections": {
+                "input": {"id": input_id, "output_name": "output"}
+            },
+            "outputs": [{"name": "report"}],
+        })
+        trim_id = add_step({
+            "type": "tool",
+            "tool_id": "trimmomatic",
+            "input_connections": {
+                "input": {"id": input_id, "output_name": "output"}
+            },
+            "outputs": [{"name": "trimmed"}],
+        })
+        tophat_id = add_step({
+            "type": "tool",
+            "tool_id": "tophat2",
+            "input_connections": {
+                "input": {"id": trim_id, "output_name": "trimmed"}
+            },
+            "outputs": [{"name": "accepted_hits"}],
+        })
+        tophat_ids.append(tophat_id)
+        cufflinks_id = add_step({
+            "type": "tool",
+            "tool_id": "cufflinks",
+            "input_connections": {
+                "input": {"id": tophat_id, "output_name": "accepted_hits"}
+            },
+            "outputs": [{"name": "transcripts"}],
+        })
+        cufflinks_ids.append(cufflinks_id)
+
+    merge_id = add_step({
+        "type": "tool",
+        "tool_id": "cuffmerge",
+        "input_connections": {
+            "inputs": [
+                {"id": cid, "output_name": "transcripts"}
+                for cid in cufflinks_ids
+            ]
+        },
+        "outputs": [{"name": "merged_gtf"}],
+    })
+    add_step({
+        "type": "tool",
+        "tool_id": "cuffdiff",
+        "input_connections": {
+            "gtf": {"id": merge_id, "output_name": "merged_gtf"},
+            "alignments": [
+                {"id": tid, "output_name": "accepted_hits"} for tid in tophat_ids
+            ],
+        },
+        "outputs": [{"name": "differential_expression"}],
+    })
+    return json.dumps({"name": "TRAPLINE", "steps": steps}, indent=2)

@@ -1,0 +1,135 @@
+"""The single-nucleotide-variant calling workflow (Sec. 4.1).
+
+Genomic reads are aligned against a reference with Bowtie 2, alignments
+are sorted with SAMtools, variants are called with VarScan and annotated
+with ANNOVAR. Input reads come from the 1000 Genomes Project: one
+*sample* is eight files of roughly one gigabyte each.
+
+The paper implemented this workflow twice — in Cuneiform (for Hi-WAY)
+and in Tez — and this module does the same: :func:`snv_cuneiform`
+renders the Cuneiform script, :func:`snv_graph` builds the equivalent
+static DAG for the Tez baseline. The reference genome and its index are
+installed software (staged by recipes onto every node), not workflow
+inputs, matching the paper's setup.
+"""
+
+from __future__ import annotations
+
+from repro.workflow.model import TaskSpec, WorkflowGraph
+
+__all__ = [
+    "SNV_TOOLS",
+    "sample_read_files",
+    "snv_cuneiform",
+    "snv_graph",
+    "FILES_PER_SAMPLE",
+    "MB_PER_READ_FILE",
+]
+
+#: Executables the workflow needs on every node.
+SNV_TOOLS = ("bowtie2", "samtools-sort", "varscan", "annovar", "cram-compress")
+
+#: One 1000-Genomes sample: eight files of about a gigabyte (Sec. 4.1).
+FILES_PER_SAMPLE = 8
+MB_PER_READ_FILE = 1024.0
+
+
+def sample_read_files(
+    n_samples: int,
+    files_per_sample: int = FILES_PER_SAMPLE,
+    mb_per_file: float = MB_PER_READ_FILE,
+    from_s3: bool = False,
+) -> dict[str, float]:
+    """Input manifest: read-file path -> size in MB.
+
+    With ``from_s3`` the reads live in the 1000-Genomes S3 bucket and
+    are streamed in during execution (the second Sec. 4.1 experiment);
+    otherwise they are staged into HDFS beforehand.
+    """
+    prefix = "s3://1000genomes/reads" if from_s3 else "/data/1000genomes/reads"
+    return {
+        f"{prefix}/sample-{sample:03d}/reads-{part}.fastq": mb_per_file
+        for sample in range(n_samples)
+        for part in range(files_per_sample)
+    }
+
+
+def _samples_from_manifest(inputs: dict[str, float]) -> dict[str, list[str]]:
+    """Group a read manifest back into samples."""
+    samples: dict[str, list[str]] = {}
+    for path in sorted(inputs):
+        sample = path.rsplit("/", 2)[-2]
+        samples.setdefault(sample, []).append(path)
+    return samples
+
+
+def snv_cuneiform(inputs: dict[str, float], use_cram: bool = False) -> str:
+    """Render the variant-calling workflow as a Cuneiform script.
+
+    ``use_cram`` inserts the referential-compression step that shrank
+    intermediate alignments in the terabyte-scale experiment.
+    """
+    lines = [
+        "% Single nucleotide variant calling [31], as run in Sec. 4.1.",
+        "deftask align( sam : reads )in bash *{ tool: bowtie2 }*",
+        "deftask sort-alignments( bam : <sams> )in bash *{ tool: samtools-sort }*",
+        "deftask call-variants( vcf : bam )in bash *{ tool: varscan }*",
+        "deftask annotate( csv : vcf )in bash *{ tool: annovar }*",
+    ]
+    if use_cram:
+        lines.append(
+            "deftask compress( cram : sam )in bash *{ tool: cram-compress }*"
+        )
+    sample_vars = []
+    for index, (sample, paths) in enumerate(_samples_from_manifest(inputs).items()):
+        reads = " ".join(f"'{path}'" for path in paths)
+        aligned = f"align( reads: [{reads}] )"
+        if use_cram:
+            aligned = f"compress( sam: {aligned} )"
+        variable = f"result{index}"
+        lines.append(
+            f"{variable} = annotate( vcf: call-variants( bam: "
+            f"sort-alignments( sams: {aligned} ) ) );  % {sample}"
+        )
+        sample_vars.append(variable)
+    lines.append("[ " + " ".join(sample_vars) + " ];")
+    return "\n".join(lines)
+
+
+def snv_graph(inputs: dict[str, float], use_cram: bool = False) -> WorkflowGraph:
+    """The same workflow as an explicit DAG (the Tez re-implementation)."""
+    graph = WorkflowGraph("snv-calling")
+    for sample, paths in _samples_from_manifest(inputs).items():
+        sams = []
+        for part, path in enumerate(paths):
+            sam = f"/work/{sample}/aligned-{part}.sam"
+            graph.add_task(TaskSpec(
+                tool="bowtie2", inputs=[path], outputs=[sam],
+                task_id=f"align-{sample}-{part}",
+            ))
+            if use_cram:
+                cram = f"/work/{sample}/aligned-{part}.cram"
+                graph.add_task(TaskSpec(
+                    tool="cram-compress", inputs=[sam], outputs=[cram],
+                    task_id=f"compress-{sample}-{part}",
+                ))
+                sams.append(cram)
+            else:
+                sams.append(sam)
+        bam = f"/work/{sample}/sorted.bam"
+        vcf = f"/work/{sample}/variants.vcf"
+        csv = f"/out/{sample}/annotated.csv"
+        graph.add_task(TaskSpec(
+            tool="samtools-sort", inputs=sams, outputs=[bam],
+            task_id=f"sort-{sample}",
+        ))
+        graph.add_task(TaskSpec(
+            tool="varscan", inputs=[bam], outputs=[vcf],
+            task_id=f"varscan-{sample}",
+        ))
+        graph.add_task(TaskSpec(
+            tool="annovar", inputs=[vcf], outputs=[csv],
+            task_id=f"annovar-{sample}",
+        ))
+    graph.validate()
+    return graph

@@ -1,0 +1,22 @@
+"""Simulated Hadoop YARN: ResourceManager, NodeManagers, containers."""
+
+from repro.yarn.nodemanager import ContainerOutcome, NodeManager
+from repro.yarn.records import (
+    ApplicationHandle,
+    Container,
+    ContainerRequest,
+    ContainerResource,
+    ContainerState,
+)
+from repro.yarn.resourcemanager import ResourceManager
+
+__all__ = [
+    "ApplicationHandle",
+    "ContainerOutcome",
+    "Container",
+    "ContainerRequest",
+    "ContainerResource",
+    "ContainerState",
+    "NodeManager",
+    "ResourceManager",
+]

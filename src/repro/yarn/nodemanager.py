@@ -1,0 +1,178 @@
+"""The simulated NodeManager: per-node container bookkeeping."""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Callable, Generator, Optional
+
+from repro.cluster.node import Node
+from repro.errors import ContainerError, YarnError
+from repro.sim.engine import Environment, Process
+from repro.yarn.records import Container, ContainerResource, ContainerState
+
+__all__ = ["NodeManager", "ContainerOutcome"]
+
+
+@dataclass(frozen=True)
+class ContainerOutcome:
+    """Terminal report of one container execution.
+
+    Container bodies never propagate exceptions into the event loop: the
+    watcher process always *returns* one of these, mirroring how a real AM
+    learns about container exits through status reports rather than
+    exceptions.
+    """
+
+    container: Container
+    success: bool
+    value: object = None
+    error: Optional[BaseException] = None
+
+    @property
+    def diagnostics(self) -> str:
+        """Human-readable failure reason (empty on success)."""
+        return "" if self.success else repr(self.error)
+
+
+class NodeManager:
+    """Tracks and launches containers on one worker node.
+
+    Capacity is the node's full core and memory complement unless
+    ``max_containers`` further restricts concurrency (the knob both
+    Sec. 4.1's and Sec. 4.2's experiments turn to one container per node
+    for memory-hungry tasks).
+    """
+
+    _ids = itertools.count()
+
+    def __init__(
+        self,
+        env: Environment,
+        node: Node,
+        max_containers: Optional[int] = None,
+    ):
+        self.env = env
+        self.node = node
+        self.max_containers = max_containers
+        self.available_vcores = node.spec.cores
+        self.available_memory_mb = node.spec.memory_mb
+        self.containers: dict[str, Container] = {}
+        self._running: dict[str, Process] = {}
+        self._active_count = 0
+        #: Observers notified when capacity frees up (the RM hooks this).
+        self.on_capacity_freed: list[Callable[[], None]] = []
+
+    @property
+    def node_id(self) -> str:
+        return self.node.node_id
+
+    @property
+    def active_container_count(self) -> int:
+        return self._active_count
+
+    def can_fit(self, resource: ContainerResource) -> bool:
+        """Whether a container of ``resource`` fits right now."""
+        if not self.node.alive:
+            return False
+        if (
+            self.max_containers is not None
+            and self.active_container_count >= self.max_containers
+        ):
+            return False
+        return (
+            resource.vcores <= self.available_vcores
+            and resource.memory_mb <= self.available_memory_mb
+        )
+
+    def allocate(self, resource: ContainerResource, app_id: str) -> Container:
+        """Reserve capacity and hand back a container record."""
+        if not self.can_fit(resource):
+            raise YarnError(f"{self.node_id}: no capacity for {resource}")
+        self.available_vcores -= resource.vcores
+        self.available_memory_mb -= resource.memory_mb
+        container = Container(
+            container_id=f"container-{next(NodeManager._ids):06d}",
+            node_id=self.node_id,
+            resource=resource,
+            app_id=app_id,
+        )
+        self.containers[container.container_id] = container
+        self._active_count += 1
+        return container
+
+    def launch(self, container: Container, body: Generator) -> Process:
+        """Run ``body`` (a simulation generator) inside ``container``.
+
+        The returned watcher process fires when the body finishes and
+        always *returns* a :class:`ContainerOutcome`; failures inside the
+        body never escape into the event loop.
+        """
+        if container.container_id not in self.containers:
+            raise ContainerError(f"unknown container {container.container_id}")
+        if container.state not in (
+            ContainerState.ALLOCATED,
+            ContainerState.COMPLETED,  # container reuse (e.g. Tez)
+        ):
+            raise ContainerError(
+                f"container {container.container_id} in state {container.state}"
+            )
+        container.state = ContainerState.RUNNING
+        inner = self.env.process(body)
+        # Interrupts (release / crash) target the body itself.
+        self._running[container.container_id] = inner
+        return self.env.process(self._watch(container, inner))
+
+    def _watch(self, container: Container, inner: Process):
+        try:
+            value = yield inner
+        except BaseException as error:
+            if container.state is ContainerState.RUNNING:
+                container.state = ContainerState.FAILED
+            self._running.pop(container.container_id, None)
+            return ContainerOutcome(container, success=False, error=error)
+        self._running.pop(container.container_id, None)
+        if container.state is ContainerState.RUNNING:
+            container.state = ContainerState.COMPLETED
+            return ContainerOutcome(container, success=True, value=value)
+        # Released or crashed while the body was winding down.
+        return ContainerOutcome(
+            container,
+            success=False,
+            value=value,
+            error=ContainerError(f"container ended in state {container.state}"),
+        )
+
+    def release(self, container: Container) -> None:
+        """Return the container's capacity to the node."""
+        stored = self.containers.pop(container.container_id, None)
+        if stored is None:
+            return  # Releasing twice is a no-op, as in YARN.
+        self._active_count -= 1
+        if stored.state is ContainerState.RUNNING:
+            process = self._running.pop(container.container_id, None)
+            if process is not None and process.is_alive:
+                process.interrupt("container released")
+        stored.state = ContainerState.RELEASED
+        self.available_vcores += stored.resource.vcores
+        self.available_memory_mb += stored.resource.memory_mb
+        for callback in list(self.on_capacity_freed):
+            callback()
+
+    def crash(self) -> list[Container]:
+        """Simulate a node failure: kill everything, mark the node dead.
+
+        Returns the containers that were active so the RM can notify AMs.
+        """
+        self.node.alive = False
+        casualties = [c for c in self.containers.values() if c.is_active]
+        for container in casualties:
+            process = self._running.pop(container.container_id, None)
+            if process is not None and process.is_alive:
+                process.interrupt("node crashed")
+            container.state = ContainerState.FAILED
+        self.containers.clear()
+        self._active_count = 0
+        self.available_vcores = 0
+        self.available_memory_mb = 0.0
+        return casualties

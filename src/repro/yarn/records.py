@@ -1,0 +1,92 @@
+"""Protocol records shared between the YARN components."""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Optional
+
+__all__ = [
+    "ContainerResource",
+    "ContainerState",
+    "Container",
+    "ContainerRequest",
+    "ApplicationHandle",
+]
+
+
+@dataclass(frozen=True)
+class ContainerResource:
+    """Capability of a container: virtual cores and memory.
+
+    Matches YARN's ``Resource`` record; Hi-WAY configures one fixed
+    capability for all its worker containers (Sec. 3.1).
+    """
+
+    vcores: int = 1
+    memory_mb: float = 1024.0
+
+    def __post_init__(self) -> None:
+        if self.vcores < 1:
+            raise ValueError("a container needs at least one vcore")
+        if self.memory_mb <= 0:
+            raise ValueError("a container needs positive memory")
+
+
+class ContainerState(Enum):
+    """Lifecycle of a container."""
+
+    ALLOCATED = "allocated"
+    RUNNING = "running"
+    COMPLETED = "completed"
+    FAILED = "failed"
+    RELEASED = "released"
+
+
+@dataclass
+class Container:
+    """A granted slice of one NodeManager."""
+
+    container_id: str
+    node_id: str
+    resource: ContainerResource
+    app_id: str
+    state: ContainerState = ContainerState.ALLOCATED
+
+    @property
+    def is_active(self) -> bool:
+        return self.state in (ContainerState.ALLOCATED, ContainerState.RUNNING)
+
+
+_request_ids = itertools.count()
+
+
+@dataclass
+class ContainerRequest:
+    """An AM's ask for one container.
+
+    ``preferred_node`` expresses locality: with ``strict=True`` the RM
+    waits for capacity on exactly that node (static schedulers pre-place
+    tasks); otherwise the preference is best-effort and any node may be
+    returned (Hi-WAY's default queue schedulers bind tasks late).
+    """
+
+    app_id: str
+    resource: ContainerResource
+    preferred_node: Optional[str] = None
+    strict: bool = False
+    request_id: int = field(default_factory=lambda: next(_request_ids))
+    cancelled: bool = False
+
+    def cancel(self) -> None:
+        """Withdraw the ask; pending requests are skipped by the RM."""
+        self.cancelled = True
+
+
+@dataclass
+class ApplicationHandle:
+    """RM-side registration of one application master."""
+
+    app_id: str
+    name: str

@@ -1,0 +1,237 @@
+"""The simulated ResourceManager: application registry and allocation.
+
+The RM serves container requests whenever capacity exists, spreading
+allocations round-robin over the workers. Across *applications* it
+supports two of YARN's internal scheduling modes (Sec. 3.4 notes these
+are distinct from Hi-WAY's workflow-level scheduler): ``fifo`` serves
+requests strictly in arrival order; ``fair`` interleaves applications,
+preferring the one currently holding the fewest containers. Requests
+may carry a node preference; ``strict`` requests wait for exactly that
+node, which is how Hi-WAY enforces static (round-robin / HEFT)
+schedules.
+
+Every allocation charges a little CPU work on the master node hosting the
+RM, so master-side load scales with cluster activity as in Figure 6.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import deque
+from typing import Optional
+
+from repro.cluster.cluster import Cluster
+from repro.errors import YarnError
+from repro.sim.engine import Environment, Event
+from repro.yarn.nodemanager import NodeManager
+from repro.yarn.records import (
+    ApplicationHandle,
+    Container,
+    ContainerRequest,
+    ContainerResource,
+)
+
+__all__ = ["ResourceManager"]
+
+#: CPU work charged on the RM host per allocation decision.
+ALLOCATION_WORK = 0.004
+#: CPU work charged on the RM host per application registration.
+REGISTRATION_WORK = 0.02
+#: Permanent CPU load (cores) the RM spends servicing one NodeManager's
+#: heartbeats. Scales master load linearly with cluster size (Fig. 6).
+HEARTBEAT_LOAD_PER_NM = 0.0005
+
+
+class ResourceManager:
+    """Cluster-wide resource arbiter."""
+
+    _app_ids = itertools.count(1)
+
+    #: Supported cross-application scheduling modes.
+    SCHEDULING_MODES = ("fifo", "fair")
+
+    def __init__(
+        self,
+        env: Environment,
+        cluster: Cluster,
+        max_containers_per_node: Optional[int] = None,
+        scheduling_mode: str = "fifo",
+    ):
+        if scheduling_mode not in self.SCHEDULING_MODES:
+            raise YarnError(
+                f"unknown scheduling mode {scheduling_mode!r}; "
+                f"choose one of {self.SCHEDULING_MODES}"
+            )
+        self.scheduling_mode = scheduling_mode
+        self._containers_held: dict[str, int] = {}
+        self.env = env
+        self.cluster = cluster
+        self.node_managers: dict[str, NodeManager] = {
+            node.node_id: NodeManager(env, node, max_containers_per_node)
+            for node in cluster.workers
+        }
+        for manager in self.node_managers.values():
+            manager.on_capacity_freed.append(self._serve_pending)
+        self._apps: dict[str, ApplicationHandle] = {}
+        self._live_containers: set[str] = set()
+        self._pending: deque[tuple[ContainerRequest, Event]] = deque()
+        self._rotation = 0
+        self._host = cluster.masters[0] if cluster.masters else None
+        #: Total allocations served (bookkeeping for reports/tests).
+        self.allocations = 0
+        self._heartbeat_flows = {}
+        if self._host is not None:
+            for node_id in self.node_managers:
+                self._heartbeat_flows[node_id] = cluster.network.start_flow(
+                    size=None,
+                    resources=[self._host.cpu],
+                    cap=HEARTBEAT_LOAD_PER_NM,
+                    label=f"rm-heartbeat:{node_id}",
+                )
+
+    # -- applications ----------------------------------------------------------
+
+    def register_application(self, name: str) -> ApplicationHandle:
+        """Register an AM; returns its handle with a fresh app id."""
+        app = ApplicationHandle(app_id=f"application_{next(self._app_ids):04d}", name=name)
+        self._apps[app.app_id] = app
+        if self._host is not None:
+            self._host.compute(REGISTRATION_WORK, threads=1, label="rm-register")
+        return app
+
+    def unregister_application(self, app: ApplicationHandle) -> None:
+        """Drop an AM registration and its outstanding requests."""
+        self._apps.pop(app.app_id, None)
+        for request, _event in self._pending:
+            if request.app_id == app.app_id:
+                request.cancel()
+
+    # -- allocation --------------------------------------------------------------
+
+    def request_container(
+        self,
+        app: ApplicationHandle,
+        resource: ContainerResource,
+        preferred_node: Optional[str] = None,
+        strict: bool = False,
+    ) -> Event:
+        """Ask for one container; the event fires with the :class:`Container`.
+
+        ``strict`` requests are only ever satisfied on ``preferred_node``.
+        """
+        if app.app_id not in self._apps:
+            raise YarnError(f"unknown application {app.app_id}")
+        if strict and preferred_node is None:
+            raise YarnError("strict requests need a preferred node")
+        if preferred_node is not None and preferred_node not in self.node_managers:
+            raise YarnError(f"unknown node {preferred_node!r}")
+        request = ContainerRequest(
+            app_id=app.app_id,
+            resource=resource,
+            preferred_node=preferred_node,
+            strict=strict,
+        )
+        event = self.env.event()
+        self._pending.append((request, event))
+        self._serve_pending()
+        return event
+
+    def release_container(self, container: Container) -> None:
+        """Free a container's capacity (triggers pending allocation)."""
+        held = self._containers_held.get(container.app_id)
+        if held is not None and container.container_id in self._live_containers:
+            self._containers_held[container.app_id] = max(0, held - 1)
+            self._live_containers.discard(container.container_id)
+        manager = self.node_managers.get(container.node_id)
+        if manager is not None:
+            manager.release(container)
+
+    def _choose_node(self, request: ContainerRequest) -> Optional[NodeManager]:
+        """Pick a NodeManager able to host ``request`` right now."""
+        if request.preferred_node is not None:
+            preferred = self.node_managers[request.preferred_node]
+            if preferred.can_fit(request.resource):
+                return preferred
+            if request.strict:
+                return None
+        # Round-robin over workers for even spread.
+        ids = list(self.node_managers)
+        for offset in range(len(ids)):
+            manager = self.node_managers[ids[(self._rotation + offset) % len(ids)]]
+            if manager.can_fit(request.resource):
+                self._rotation = (self._rotation + offset + 1) % len(ids)
+                return manager
+        return None
+
+    def _serve_pending(self) -> None:
+        """Scan outstanding requests against current capacity.
+
+        ``fifo`` mode serves in arrival order; ``fair`` mode first orders
+        requests so applications holding fewer containers go first
+        (YARN's FairScheduler behaviour, approximated at container
+        granularity), with arrival order breaking ties.
+        """
+        if not self._pending:
+            return
+        if self.scheduling_mode == "fair":
+            self._pending = deque(sorted(
+                self._pending,
+                key=lambda item: (
+                    self._containers_held.get(item[0].app_id, 0),
+                    item[0].request_id,
+                ),
+            ))
+        unserved: deque[tuple[ContainerRequest, Event]] = deque()
+        # Once a relaxed request of some size found no node, every later
+        # relaxed request of the same size is hopeless too; skipping them
+        # keeps the scan linear under heavy backlog.
+        exhausted_sizes: set[tuple[int, float]] = set()
+        while self._pending:
+            request, event = self._pending.popleft()
+            if request.cancelled:
+                continue
+            size = (request.resource.vcores, request.resource.memory_mb)
+            if not request.strict and size in exhausted_sizes:
+                unserved.append((request, event))
+                continue
+            manager = self._choose_node(request)
+            if manager is None:
+                if not request.strict:
+                    exhausted_sizes.add(size)
+                unserved.append((request, event))
+                continue
+            container = manager.allocate(request.resource, request.app_id)
+            self.allocations += 1
+            self._containers_held[request.app_id] = (
+                self._containers_held.get(request.app_id, 0) + 1
+            )
+            self._live_containers.add(container.container_id)
+            if self._host is not None:
+                self._host.compute(ALLOCATION_WORK, threads=1, label="rm-alloc")
+            event.succeed(container)
+        self._pending = unserved
+
+    # -- failure injection ---------------------------------------------------------
+
+    def crash_node(self, node_id: str) -> list[Container]:
+        """Kill a worker node; returns the containers that died with it."""
+        manager = self.node_managers.get(node_id)
+        if manager is None:
+            raise YarnError(f"unknown node {node_id!r}")
+        heartbeat = self._heartbeat_flows.pop(node_id, None)
+        if heartbeat is not None:
+            heartbeat.cancel()
+        return manager.crash()
+
+    # -- introspection ---------------------------------------------------------------
+
+    @property
+    def total_capacity_vcores(self) -> int:
+        """Sum of vcores across live workers."""
+        return sum(
+            nm.node.spec.cores for nm in self.node_managers.values() if nm.node.alive
+        )
+
+    def pending_request_count(self) -> int:
+        """Number of container requests waiting for capacity."""
+        return sum(1 for request, _ in self._pending if not request.cancelled)

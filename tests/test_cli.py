@@ -1,0 +1,90 @@
+"""Tests for the command-line client."""
+
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.workloads import montage_dax, trapline_galaxy_json
+
+
+CUNEIFORM = """
+deftask shout( loud : quiet )in bash *{ tool: sort }*
+shout( quiet: '/in/whisper' );
+"""
+
+
+def write(tmp_path, name, text):
+    path = tmp_path / name
+    path.write_text(text)
+    return str(path)
+
+
+def test_run_cuneiform_workflow(tmp_path, capsys):
+    workflow = write(tmp_path, "wf.cf", CUNEIFORM)
+    code = main([
+        "run", workflow,
+        "--workers", "2",
+        "--input", "/in/whisper=16",
+        "--scheduler", "fcfs",
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "SUCCEEDED" in out
+    assert "tasks completed:   1" in out
+
+
+def test_run_fails_without_input(tmp_path, capsys):
+    workflow = write(tmp_path, "wf.cf", CUNEIFORM)
+    code = main(["run", workflow, "--workers", "2", "--quiet"])
+    assert code == 1
+
+
+def test_run_dax_with_trace_roundtrip(tmp_path, capsys):
+    dax = write(tmp_path, "montage.dax", montage_dax(0.1))
+    trace_path = str(tmp_path / "run.trace")
+    inputs = []
+    for index in range(5):
+        inputs += ["--input", f"/data/2mass/raw-{index:02d}.fits=4.2"]
+    code = main([
+        "run", dax, "--workers", "3", "--trace-out", trace_path, *inputs,
+    ])
+    assert code == 0
+    # The saved trace is itself runnable (Hi-WAY's 4th language).
+    replay_inputs = inputs  # same staged files
+    code = main([
+        "run", trace_path, "--workers", "2", "--quiet", *replay_inputs,
+    ])
+    assert code == 0
+
+
+def test_run_galaxy_with_bindings(tmp_path, capsys):
+    galaxy = write(tmp_path, "trapline.ga", trapline_galaxy_json())
+    args = ["run", galaxy, "--workers", "2",
+            "--node-type", "c3.2xlarge",
+            "--container-vcores", "8",
+            "--container-memory-mb", "14000",
+            "--containers-per-node", "1"]
+    for condition in ("young", "aged"):
+        for replicate in range(3):
+            label = f"reads-{condition}-rep{replicate}"
+            path = f"/data/geo/GSE62762/{condition}-rep{replicate}.fastq"
+            args += ["--bind", f"{label}={path}", "--input", f"{path}=100"]
+    assert main(args) == 0
+    assert "SUCCEEDED" in capsys.readouterr().out
+
+
+def test_unparseable_workflow_reports_error(tmp_path, capsys):
+    bad = write(tmp_path, "bad.dax", "<adag><job/></adag>")
+    code = main(["run", bad, "--language", "dax"])
+    assert code == 2
+    assert "cannot parse" in capsys.readouterr().err
+
+
+def test_argument_validation():
+    parser = build_parser()
+    with pytest.raises(SystemExit):
+        parser.parse_args(["run", "wf", "--input", "missing-equals"])
+    with pytest.raises(SystemExit):
+        parser.parse_args(["run", "wf", "--bind", "nopath="])
+    with pytest.raises(SystemExit):
+        parser.parse_args(["run", "wf", "--scheduler", "magic"])

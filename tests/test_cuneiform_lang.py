@@ -1,0 +1,318 @@
+"""Unit tests for the Cuneiform lexer, parser, and interpreter."""
+
+import pytest
+
+from repro.errors import CuneiformError
+from repro.langs.cuneiform import CuneiformSource, parse, tokenize
+from repro.langs.cuneiform.ast import Apply, If, Str
+
+
+SIMPLE = """
+deftask align( sam : idx reads )in bash *{
+    tool: bowtie2
+}*
+sam = align( idx: '/ref/genome.idx', reads: '/in/reads.fastq' );
+sam;
+"""
+
+
+def complete(source, spec, sizes=None):
+    """Pretend the engine ran ``spec`` successfully."""
+    return source.on_task_completed(spec, sizes or {})
+
+
+def test_tokenizer_basics():
+    kinds = [t.kind for t in tokenize("deftask f( a : b ) *{x}* 'lit';")]
+    assert kinds == [
+        "deftask", "NAME", "LPAREN", "NAME", "COLON", "NAME", "RPAREN",
+        "BODY", "STRING", "SEMI", "EOF",
+    ]
+
+
+def test_tokenizer_rejects_unterminated_body():
+    with pytest.raises(CuneiformError, match="unterminated"):
+        tokenize("*{ never closed")
+
+
+def test_tokenizer_rejects_unterminated_string():
+    with pytest.raises(CuneiformError, match="string"):
+        tokenize("'oops")
+
+
+def test_tokenizer_skips_comments():
+    tokens = tokenize("% a comment\nx = 'v';\n// another\n")
+    assert [t.kind for t in tokens][:4] == ["NAME", "EQUALS", "STRING", "SEMI"]
+
+
+def test_parse_simple_script():
+    script = parse(SIMPLE)
+    assert set(script.tasks) == {"align"}
+    task = script.tasks["align"]
+    assert [p.name for p in task.outports] == ["sam"]
+    assert [p.name for p in task.inports] == ["idx", "reads"]
+    assert task.tool == "bowtie2"
+    assert set(script.assignments) == {"sam"}
+    assert len(script.targets) == 1
+
+
+def test_parse_aggregate_ports():
+    script = parse("""
+    deftask merge( out : <parts> )in bash *{ tool: cat }*
+    merge( parts: ['/a' '/b'] );
+    """)
+    task = script.tasks["merge"]
+    assert task.inports[0].aggregate
+    assert not task.outports[0].aggregate
+
+
+def test_parse_rejects_double_definitions():
+    with pytest.raises(CuneiformError, match="twice"):
+        parse("deftask f( o : i ) *{}* deftask f( o : i ) *{}* 'x';")
+    with pytest.raises(CuneiformError, match="twice"):
+        parse("x = 'a'; x = 'b'; x;")
+
+
+def test_parse_rejects_task_without_outputs():
+    with pytest.raises(CuneiformError, match="no output"):
+        parse("deftask f( : i ) *{}* 'x';")
+
+
+def test_parse_if_and_nested_apply():
+    script = parse("if f( a: 'x' ) then 'yes' else g( b: 'y' ) end;")
+    # Parse-only test: evaluation would require the task definitions.
+    target = script.targets[0]
+    assert isinstance(target, If)
+    assert isinstance(target.condition, Apply)
+    assert isinstance(target.then_branch, Str)
+
+
+def test_interpreter_emits_initial_task():
+    source = CuneiformSource(SIMPLE, name="simple")
+    tasks = source.initial_tasks()
+    assert len(tasks) == 1
+    task = tasks[0]
+    assert task.tool == "bowtie2"
+    assert task.signature == "align"
+    assert sorted(task.inputs) == ["/in/reads.fastq", "/ref/genome.idx"]
+    assert task.outputs == ["/cf/simple/align/0000/sam"]
+    assert source.input_files() == ["/in/reads.fastq", "/ref/genome.idx"]
+    assert not source.is_done()
+
+
+def test_interpreter_completes_after_task():
+    source = CuneiformSource(SIMPLE, name="simple")
+    tasks = source.initial_tasks()
+    new = complete(source, tasks[0])
+    assert new == []
+    assert source.is_done()
+    assert source.target_files() == ["/cf/simple/align/0000/sam"]
+    assert source.target_values() == [("/cf/simple/align/0000/sam",)]
+
+
+def test_scalar_ports_map_over_lists():
+    source = CuneiformSource("""
+    deftask align( sam : reads )in bash *{ tool: bowtie2 }*
+    align( reads: ['/in/a' '/in/b' '/in/c'] );
+    """, name="map")
+    tasks = source.initial_tasks()
+    assert len(tasks) == 3
+    assert [t.inputs for t in tasks] == [["/in/a"], ["/in/b"], ["/in/c"]]
+
+
+def test_cross_product_over_two_scalar_ports():
+    source = CuneiformSource("""
+    deftask compare( out : left right )in bash *{ tool: grep }*
+    compare( left: ['/l1' '/l2'], right: ['/r1' '/r2'] );
+    """, name="cross")
+    tasks = source.initial_tasks()
+    assert len(tasks) == 4
+
+
+def test_aggregate_port_consumes_whole_list():
+    source = CuneiformSource("""
+    deftask merge( out : <parts> )in bash *{ tool: cat }*
+    merge( parts: ['/a' '/b' '/c'] );
+    """, name="agg")
+    tasks = source.initial_tasks()
+    assert len(tasks) == 1
+    assert tasks[0].inputs == ["/a", "/b", "/c"]
+
+
+def test_pipeline_discovers_downstream_after_upstream():
+    source = CuneiformSource("""
+    deftask stage1( mid : raw )in bash *{ tool: sort }*
+    deftask stage2( out : mid )in bash *{ tool: grep }*
+    stage2( mid: stage1( raw: '/in/x' ) );
+    """, name="pipe")
+    first = source.initial_tasks()
+    assert [t.tool for t in first] == ["sort"]
+    second = complete(source, first[0])
+    assert [t.tool for t in second] == ["grep"]
+    assert second[0].inputs == first[0].outputs
+    complete(source, second[0])
+    assert source.is_done()
+
+
+def test_conditional_takes_then_branch_on_nonempty():
+    source = CuneiformSource("""
+    deftask check( flag : data )in bash *{ tool: grep }*
+    deftask work( out : data )in bash *{ tool: sort }*
+    if check( data: '/in/x' ) then work( data: '/in/x' ) else nil end;
+    """, name="cond")
+    first = source.initial_tasks()
+    assert [t.tool for t in first] == ["grep"]
+    second = complete(source, first[0])
+    assert [t.tool for t in second] == ["sort"]
+    complete(source, second[0])
+    assert source.is_done()
+
+
+def test_conditional_empty_until_takes_else_branch():
+    source = CuneiformSource("""
+    deftask check( flag : data )in bash *{
+        tool: grep
+        output: empty-until 1
+    }*
+    deftask work( out : data )in bash *{ tool: sort }*
+    if check( data: '/in/x' ) then work( data: '/in/x' ) else nil end;
+    """, name="cond2")
+    first = source.initial_tasks()
+    assert not complete(source, first[0])  # flag empty -> else nil
+    assert source.is_done()
+    assert source.target_values() == [()]
+
+
+def test_recursion_via_defun_terminates_on_convergence():
+    source = CuneiformSource("""
+    deftask step( next : current )in bash *{ tool: kmeans-update }*
+    deftask converged( flag : current )in bash *{
+        tool: kmeans-converged
+        output: empty-until 3
+    }*
+    defun iterate( current ) =
+        let next = step( current: current );
+        if converged( current: next )
+        then next
+        else iterate( current: next )
+        end;
+    iterate( current: '/in/seed' );
+    """, name="loop")
+    emitted = source.initial_tasks()
+    rounds = 0
+    while not source.is_done():
+        rounds += 1
+        assert rounds < 50, "runaway recursion"
+        assert emitted, "stalled without new tasks"
+        batch = list(emitted)
+        emitted = []
+        for spec in batch:
+            emitted.extend(complete(source, spec))
+    # 4 step invocations (seed + 3 more) and 4 convergence checks.
+    steps = [k for k in source._invocation_counter if k == "step"]
+    assert source._invocation_counter["step"] == 4
+    assert source._invocation_counter["converged"] == 4
+    value = source.target_values()[0]
+    assert value == ("/cf/loop/step/0003/next",)
+
+
+def test_concat_and_let():
+    source = CuneiformSource("""
+    a = '/x' + '/y';
+    let b = a + '/z'; b;
+    """, name="concat")
+    source.initial_tasks()
+    assert source.is_done()
+    assert source.target_values() == [("/x", "/y", "/z")]
+
+
+def test_runaway_recursion_raises():
+    source = CuneiformSource("""
+    defun forever( x ) = forever( x: x );
+    forever( x: 'a' );
+    """, name="bad")
+    with pytest.raises(CuneiformError, match="recursion"):
+        source.initial_tasks()
+
+
+def test_undefined_names_rejected():
+    with pytest.raises(CuneiformError, match="undefined variable"):
+        CuneiformSource("missing;", name="x").initial_tasks()
+    with pytest.raises(CuneiformError, match="undefined task"):
+        CuneiformSource("missing( a: 'x' );", name="x").initial_tasks()
+
+
+def test_bad_ports_rejected():
+    source = CuneiformSource("""
+    deftask f( o : a b )in bash *{}*
+    f( a: 'x' );
+    """, name="x")
+    with pytest.raises(CuneiformError, match="missing"):
+        source.initial_tasks()
+
+
+def test_script_without_target_rejected():
+    with pytest.raises(CuneiformError, match="target"):
+        CuneiformSource("x = 'a';", name="x")
+
+
+def test_memoization_deduplicates_identical_invocations():
+    source = CuneiformSource("""
+    deftask f( o : i )in bash *{ tool: sort }*
+    [ f( i: '/in/x' ) f( i: '/in/x' ) ];
+    """, name="memo")
+    tasks = source.initial_tasks()
+    assert len(tasks) == 1  # same arguments -> one invocation
+    complete(source, tasks[0])
+    assert source.is_done()
+    # The shared invocation's value appears twice in the target list.
+    assert len(source.target_values()[0]) == 2
+
+
+def test_nested_function_calls():
+    source = CuneiformSource("""
+    deftask work( o : i )in bash *{ tool: sort }*
+    defun twice( x ) = work( i: work( i: x ) );
+    defun quad( x ) = twice( x: twice( x: x ) );
+    quad( x: '/in/a' );
+    """, name="nested")
+    emitted = source.initial_tasks()
+    total = 0
+    while emitted:
+        total += len(emitted)
+        batch, emitted = emitted, []
+        for spec in batch:
+            emitted.extend(source.on_task_completed(spec, {}))
+    assert source.is_done()
+    assert total == 4  # four chained work invocations
+
+
+def test_function_argument_errors():
+    source = CuneiformSource("""
+    defun f( a b ) = a + b;
+    f( a: 'x' );
+    """, name="bad-args")
+    with pytest.raises(CuneiformError, match="missing"):
+        source.initial_tasks()
+
+
+def test_multi_output_task_value_is_first_port():
+    source = CuneiformSource("""
+    deftask split( left right : data )in bash *{ tool: sort }*
+    split( data: '/in/x' );
+    """, name="multi")
+    tasks = source.initial_tasks()
+    assert len(tasks[0].outputs) == 2
+    source.on_task_completed(tasks[0], {})
+    assert source.is_done()
+    # The application's value is the first declared outport.
+    assert source.target_values() == [("/cf/multi/split/0000/left",)]
+
+
+def test_empty_list_argument_produces_no_invocations():
+    source = CuneiformSource("""
+    deftask work( o : i )in bash *{ tool: sort }*
+    work( i: nil );
+    """, name="empty-map")
+    assert source.initial_tasks() == []
+    assert source.is_done()
+    assert source.target_values() == [()]

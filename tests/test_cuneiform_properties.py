@@ -1,0 +1,103 @@
+"""Property-based tests for the Cuneiform interpreter."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.langs.cuneiform import CuneiformSource
+
+
+@st.composite
+def map_pipelines(draw):
+    """A random map pipeline: N inputs through K chained map stages."""
+    n_inputs = draw(st.integers(1, 5))
+    n_stages = draw(st.integers(1, 4))
+    return n_inputs, n_stages
+
+
+def build_pipeline_script(n_inputs: int, n_stages: int) -> str:
+    lines = []
+    for stage in range(n_stages):
+        lines.append(
+            f"deftask stage{stage}( out : data )in bash *{{ tool: sort }}*"
+        )
+    inputs = " ".join(f"'/in/file-{i}'" for i in range(n_inputs))
+    expr = f"[{inputs}]"
+    for stage in range(n_stages):
+        expr = f"stage{stage}( data: {expr} )"
+    lines.append(f"{expr};")
+    return "\n".join(lines)
+
+
+def drive_to_completion(source, max_rounds=100):
+    """Simulate the driver loop; returns total tasks executed."""
+    pending = list(source.initial_tasks())
+    executed = 0
+    rounds = 0
+    while pending:
+        rounds += 1
+        assert rounds < max_rounds, "interpreter did not converge"
+        batch, pending = pending, []
+        for spec in batch:
+            executed += 1
+            pending.extend(source.on_task_completed(spec, {}))
+    assert source.is_done()
+    return executed
+
+
+@given(map_pipelines())
+@settings(max_examples=50, deadline=None)
+def test_map_pipeline_task_count(params):
+    """A K-stage map over N files executes exactly N*K tasks."""
+    n_inputs, n_stages = params
+    script = build_pipeline_script(n_inputs, n_stages)
+    source = CuneiformSource(script, name="prop")
+    executed = drive_to_completion(source)
+    assert executed == n_inputs * n_stages
+    values = source.target_values()
+    assert len(values) == 1
+    assert len(values[0]) == n_inputs  # one result file per input
+
+
+@given(st.integers(1, 6), st.integers(1, 8))
+@settings(max_examples=40, deadline=None)
+def test_bounded_recursion_iterates_exactly_n_times(partitions, iterations):
+    """The k-means pattern performs exactly the demanded iterations."""
+    from repro.workloads import kmeans_cuneiform
+
+    script = kmeans_cuneiform(
+        partitions=partitions, iterations_until_convergence=iterations
+    )
+    source = CuneiformSource(script, name="prop-kmeans")
+    executed = drive_to_completion(source, max_rounds=300)
+    # Per iteration: `partitions` assigns + 1 update + 1 convergence
+    # check; the final (converging) iteration is included in the count.
+    per_iteration = partitions + 2
+    assert executed == per_iteration * (iterations + 1)
+
+
+@given(st.integers(1, 5))
+@settings(max_examples=20, deadline=None)
+def test_memoization_never_duplicates_invocations(n_uses):
+    """Referencing the same application many times runs it once."""
+    uses = " ".join("f( i: '/in/x' )" for _ in range(n_uses))
+    script = f"""
+    deftask f( o : i )in bash *{{ tool: sort }}*
+    [ {uses} ];
+    """
+    source = CuneiformSource(script, name="memo-prop")
+    executed = drive_to_completion(source)
+    assert executed == 1
+    assert len(source.target_values()[0]) == n_uses
+
+
+@given(st.lists(st.sampled_from(["'/a'", "'/b'", "nil", "'/c'"]),
+                min_size=0, max_size=6))
+@settings(max_examples=50, deadline=None)
+def test_list_concat_flattens(parts):
+    expr = " + ".join(["[ ]"] + [f"[ {p} ]" for p in parts]) if parts else "nil"
+    source = CuneiformSource(f"{expr};", name="concat-prop")
+    source.initial_tasks()
+    assert source.is_done()
+    expected = tuple(
+        p.strip("'") for p in parts if p != "nil"
+    )
+    assert source.target_values()[0] == expected

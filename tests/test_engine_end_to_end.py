@@ -1,0 +1,227 @@
+"""End-to-end tests of the Hi-WAY engine on small static workflows."""
+
+import pytest
+
+from repro.cluster import Cluster, ClusterSpec, M3_LARGE
+from repro.core import HiWay, HiWayConfig
+from repro.sim import Environment
+from repro.workflow import StaticTaskSource, TaskSpec, WorkflowGraph
+
+
+def make_hiway(workers=3, master_count=2, config=None, **kwargs):
+    env = Environment()
+    spec = ClusterSpec(
+        worker_spec=M3_LARGE, worker_count=workers, master_count=master_count
+    )
+    cluster = Cluster(env, spec)
+    return HiWay(cluster, config=config, **kwargs)
+
+
+def diamond_graph():
+    """in -> split -> (left, right) -> join."""
+    graph = WorkflowGraph("diamond")
+    graph.add_task(TaskSpec(
+        tool="sort", inputs=["/in/data"], outputs=["/tmp/a", "/tmp/b"],
+        task_id="split",
+    ))
+    graph.add_task(TaskSpec(
+        tool="grep", inputs=["/tmp/a"], outputs=["/tmp/left"], task_id="left",
+    ))
+    graph.add_task(TaskSpec(
+        tool="grep", inputs=["/tmp/b"], outputs=["/tmp/right"], task_id="right",
+    ))
+    graph.add_task(TaskSpec(
+        tool="cat", inputs=["/tmp/left", "/tmp/right"], outputs=["/out/result"],
+        task_id="join",
+    ))
+    return graph
+
+
+@pytest.mark.parametrize("policy", ["fcfs", "data-aware", "round-robin", "heft"])
+def test_diamond_runs_under_every_policy(policy):
+    hiway = make_hiway()
+    hiway.install_everywhere("sort", "grep", "cat")
+    hiway.stage_inputs({"/in/data": 64.0})
+    result = hiway.run(StaticTaskSource(diamond_graph()), scheduler=policy)
+    assert result.success, result.diagnostics
+    assert result.tasks_completed == 4
+    assert result.task_failures == 0
+    assert "/out/result" in result.output_files
+    assert result.runtime_seconds > 0
+    assert result.scheduler in (policy, policy.replace("_", "-"))
+
+
+def test_parallel_tasks_overlap_in_time():
+    # 8 independent single-core tasks on 3 two-core workers must take far
+    # less than 8x one task's latency.
+    hiway = make_hiway(workers=3)
+    hiway.install_everywhere("sort")
+    graph = WorkflowGraph("fanout")
+    inputs = {}
+    for index in range(8):
+        path = f"/in/chunk-{index}"
+        inputs[path] = 32.0
+        graph.add_task(TaskSpec(
+            tool="sort", inputs=[path], outputs=[f"/out/sorted-{index}"],
+        ))
+    hiway.stage_inputs(inputs)
+    result = hiway.run(StaticTaskSource(graph), scheduler="fcfs")
+    assert result.success
+    # Serial execution would be ~8 * (stage-in + 6.9s + stage-out); with
+    # 6 concurrent containers it must beat half of that comfortably.
+    single = 32.0 * 0.2 + 3.0  # compute + generous I/O bound
+    assert result.runtime_seconds < 4 * single
+
+
+def test_missing_input_fails_cleanly():
+    hiway = make_hiway()
+    hiway.install_everywhere("sort", "grep", "cat")
+    result = hiway.run(StaticTaskSource(diamond_graph()))
+    assert not result.success
+    assert any("missing input" in d for d in result.diagnostics)
+
+
+def test_missing_tool_fails_after_retries():
+    hiway = make_hiway(config=HiWayConfig(max_retries=1))
+    hiway.install_everywhere("sort", "grep")  # no "cat" anywhere
+    hiway.stage_inputs({"/in/data": 8.0})
+    result = hiway.run(StaticTaskSource(diamond_graph()))
+    assert not result.success
+    assert result.task_failures >= 2  # initial attempt + retry
+    assert any("cat" in d for d in result.diagnostics)
+
+
+def test_tool_installed_on_subset_retries_to_good_node():
+    hiway = make_hiway(workers=3, config=HiWayConfig(max_retries=3))
+    hiway.install_everywhere("sort", "grep")
+    # "cat" lives on exactly one node.
+    hiway.cluster.node("worker-2").install("cat")
+    hiway.stage_inputs({"/in/data": 8.0})
+    result = hiway.run(StaticTaskSource(diamond_graph()), scheduler="fcfs")
+    assert result.success, result.diagnostics
+    # The join task may have needed retries to land on worker-2.
+    assert result.tasks_completed == 4
+
+
+def test_oom_when_container_too_small():
+    config = HiWayConfig(container_memory_mb=512.0, max_retries=0)
+    hiway = make_hiway(config=config)
+    hiway.install_everywhere("bowtie2")
+    graph = WorkflowGraph("align")
+    graph.add_task(TaskSpec(
+        tool="bowtie2", inputs=["/in/reads"], outputs=["/out/aln"],
+    ))
+    hiway.stage_inputs({"/in/reads": 64.0})
+    result = hiway.run(StaticTaskSource(graph))
+    assert not result.success
+    assert any("MB" in d for d in result.diagnostics)
+
+
+def test_adaptive_container_sizing_fixes_oom():
+    config = HiWayConfig(
+        container_memory_mb=512.0, max_retries=0, adaptive_container_sizing=True
+    )
+    hiway = make_hiway(config=config)
+    hiway.install_everywhere("bowtie2")
+    graph = WorkflowGraph("align")
+    graph.add_task(TaskSpec(
+        tool="bowtie2", inputs=["/in/reads"], outputs=["/out/aln"],
+    ))
+    hiway.stage_inputs({"/in/reads": 64.0})
+    result = hiway.run(StaticTaskSource(graph))
+    assert result.success, result.diagnostics
+
+
+def test_empty_workflow_succeeds_immediately():
+    hiway = make_hiway()
+    result = hiway.run(StaticTaskSource(WorkflowGraph("empty")))
+    assert result.success
+    assert result.tasks_completed == 0
+
+
+def test_provenance_records_workflow_task_and_file_events():
+    hiway = make_hiway()
+    hiway.install_everywhere("sort", "grep", "cat")
+    hiway.stage_inputs({"/in/data": 16.0})
+    result = hiway.run(StaticTaskSource(diamond_graph()))
+    assert result.success
+    store = hiway.provenance.store
+    workflow_events = store.records(kind="workflow")
+    assert [e["phase"] for e in workflow_events] == ["start", "end"]
+    task_events = store.records(kind="task", workflow_id=result.workflow_id)
+    assert len(task_events) == 4
+    assert all(e["makespan_seconds"] > 0 for e in task_events)
+    file_events = store.records(kind="file")
+    # diamond: 5 stage-ins (1+1+1+2) and 5 stage-outs (2+1+1+1).
+    assert len(file_events) == 10
+    directions = {e["direction"] for e in file_events}
+    assert directions == {"in", "out"}
+
+
+def test_output_sizes_follow_tool_profiles():
+    hiway = make_hiway()
+    hiway.install_everywhere("gzip")
+    graph = WorkflowGraph("compress")
+    graph.add_task(TaskSpec(
+        tool="gzip", inputs=["/in/big"], outputs=["/out/big.gz"],
+    ))
+    hiway.stage_inputs({"/in/big": 100.0})
+    result = hiway.run(StaticTaskSource(graph))
+    assert result.success
+    # gzip profile: ratio 0.35 plus 0.01 fixed.
+    assert result.output_files["/out/big.gz"] == pytest.approx(35.01)
+
+
+def test_output_size_hints_override_profiles():
+    hiway = make_hiway()
+    hiway.install_everywhere("gzip")
+    graph = WorkflowGraph("compress")
+    graph.add_task(TaskSpec(
+        tool="gzip", inputs=["/in/big"], outputs=["/out/big.gz"],
+        output_size_hints={"/out/big.gz": 7.0},
+    ))
+    hiway.stage_inputs({"/in/big": 100.0})
+    result = hiway.run(StaticTaskSource(graph))
+    assert result.success
+    assert result.output_files["/out/big.gz"] == pytest.approx(7.0)
+
+
+def test_two_workflows_share_one_installation():
+    hiway = make_hiway(workers=4)
+    hiway.install_everywhere("sort", "grep", "cat")
+    hiway.stage_inputs({"/in/data": 16.0, "/in/other": 16.0})
+    graph_a = diamond_graph()
+    graph_b = WorkflowGraph("simple")
+    graph_b.add_task(TaskSpec(
+        tool="sort", inputs=["/in/other"], outputs=["/out/other.sorted"],
+    ))
+    proc_a = hiway.submit(StaticTaskSource(graph_a), scheduler="fcfs")
+    proc_b = hiway.submit(StaticTaskSource(graph_b), scheduler="fcfs")
+    hiway.env.run(until=hiway.env.all_of([proc_a, proc_b]))
+    assert proc_a.value.success and proc_b.value.success
+    # Each workflow ran under its own AM / workflow id.
+    assert proc_a.value.workflow_id != proc_b.value.workflow_id
+
+
+def test_node_crash_during_run_recovers_by_retry():
+    hiway = make_hiway(workers=3, config=HiWayConfig(max_retries=3))
+    hiway.install_everywhere("sort")
+    graph = WorkflowGraph("fanout")
+    inputs = {}
+    for index in range(6):
+        path = f"/in/chunk-{index}"
+        inputs[path] = 64.0
+        graph.add_task(TaskSpec(
+            tool="sort", inputs=[path], outputs=[f"/out/sorted-{index}"],
+        ))
+    hiway.stage_inputs(inputs)
+    process = hiway.submit(StaticTaskSource(graph), scheduler="fcfs")
+    # Let tasks start, then kill a worker mid-flight.
+    hiway.env.run(until=hiway.env.now + 2.0)
+    hiway.rm.crash_node("worker-1")
+    hiway.hdfs.namenode.remove_datanode("worker-1")
+    hiway.env.run(until=process)
+    result = process.value
+    assert result.success, result.diagnostics
+    assert result.tasks_completed == 6
+    assert result.task_failures >= 1

@@ -1,0 +1,142 @@
+"""Additional kernel edge cases found worth pinning down."""
+
+import pytest
+
+from repro.errors import Interrupt, SimulationError
+from repro.sim import Environment, FlowNetwork
+
+
+def test_any_of_failure_propagates():
+    env = Environment()
+
+    def failing(env):
+        yield env.timeout(1.0)
+        raise ValueError("first to finish fails")
+
+    def slow(env):
+        yield env.timeout(10.0)
+
+    caught = []
+
+    def waiter(env):
+        try:
+            yield env.any_of([env.process(failing(env)), env.process(slow(env))])
+        except ValueError as exc:
+            caught.append(str(exc))
+
+    env.process(waiter(env))
+    env.run()
+    assert caught == ["first to finish fails"]
+
+
+def test_all_of_fails_fast():
+    env = Environment()
+    finish_time = []
+
+    def failing(env):
+        yield env.timeout(1.0)
+        raise RuntimeError("boom")
+
+    def slow(env):
+        yield env.timeout(100.0)
+
+    def waiter(env):
+        try:
+            yield env.all_of([env.process(failing(env)), env.process(slow(env))])
+        except RuntimeError:
+            finish_time.append(env.now)
+
+    env.process(waiter(env))
+    env.run(until=2.0)
+    assert finish_time == [1.0]  # did not wait for the slow process
+
+
+def test_interrupt_before_first_step_is_catchable_by_watcher():
+    env = Environment()
+
+    def body(env):
+        yield env.timeout(5.0)
+        return "done"
+
+    outcomes = []
+
+    def watcher(env, victim):
+        try:
+            value = yield victim
+            outcomes.append(("ok", value))
+        except Interrupt as exc:
+            outcomes.append(("interrupted", exc.cause))
+
+    victim = env.process(body(env))
+    env.process(watcher(env, victim))
+    victim.interrupt("too early")
+    env.run()
+    assert outcomes == [("interrupted", "too early")]
+
+
+def test_run_until_time_then_continue():
+    env = Environment()
+    log = []
+
+    def proc(env):
+        for _ in range(4):
+            yield env.timeout(2.0)
+            log.append(env.now)
+
+    env.process(proc(env))
+    env.run(until=3.0)
+    assert log == [2.0]
+    env.run()
+    assert log == [2.0, 4.0, 6.0, 8.0]
+
+
+def test_run_until_in_the_past_rejected():
+    env = Environment()
+    env.timeout(5.0)
+    env.run(until=5.0)
+    with pytest.raises(SimulationError):
+        env.run(until=1.0)
+
+
+def test_step_advances_exactly_one_event():
+    env = Environment()
+    env.timeout(1.0)
+    env.timeout(2.0)
+    env.step()
+    assert env.now == 1.0
+    env.step()
+    assert env.now == 2.0
+    with pytest.raises(SimulationError):
+        env.step()
+
+
+def test_flow_rate_read_forces_pending_rebalance():
+    env = Environment()
+    net = FlowNetwork(env)
+    net.add_resource("r", 10.0)
+    flow = net.start_flow(100.0, ["r"])
+    # No event has been processed yet, but reading the rate must not
+    # observe the stale pre-rebalance zero.
+    assert flow.rate == pytest.approx(10.0)
+
+
+def test_cancelled_flow_fires_no_completion():
+    env = Environment()
+    net = FlowNetwork(env)
+    net.add_resource("r", 10.0)
+    flow = net.start_flow(100.0, ["r"])
+    env.run(until=1.0)
+    flow.cancel()
+    env.run()
+    assert not flow.done.triggered
+
+
+def test_flows_starting_same_instant_share_exactly():
+    env = Environment()
+    net = FlowNetwork(env)
+    net.add_resource("r", 30.0)
+    # Three flows created in one timestep: the deferred rebalance must
+    # price them together (10 each), not give the first one the full 30.
+    flows = [net.start_flow(30.0, ["r"]) for _ in range(3)]
+    env.run(until=env.all_of([f.done for f in flows]))
+    assert env.now == pytest.approx(3.0)

@@ -1,0 +1,67 @@
+"""Property-based tests for the simulated HDFS."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cluster import Cluster, ClusterSpec, M3_LARGE
+from repro.hdfs import HdfsClient
+from repro.sim import Environment
+
+sizes = st.floats(min_value=0.1, max_value=600.0)
+
+
+def make_stack(workers, replication, seed=0):
+    env = Environment()
+    cluster = Cluster(env, ClusterSpec(worker_spec=M3_LARGE, worker_count=workers))
+    return env, cluster, HdfsClient(cluster, replication=replication, seed=seed)
+
+
+def run(env, generator):
+    process = env.process(generator)
+    env.run(until=process)
+    return process.value
+
+
+@given(
+    st.lists(sizes, min_size=1, max_size=6),
+    st.integers(min_value=1, max_value=3),
+    st.integers(min_value=2, max_value=6),
+)
+@settings(max_examples=40, deadline=None)
+def test_read_after_write_consistency(file_sizes, replication, workers):
+    """Everything written is readable from every node, byte-exact."""
+    env, cluster, hdfs = make_stack(workers, replication)
+    for index, size in enumerate(file_sizes):
+        run(env, hdfs.write(f"/f{index}", size, f"worker-{index % workers}"))
+    for index, size in enumerate(file_sizes):
+        assert hdfs.size_of(f"/f{index}") == pytest.approx(size)
+        reader = f"worker-{(index + 1) % workers}"
+        report = run(env, hdfs.read(f"/f{index}", reader))
+        assert report.size_mb == pytest.approx(size)
+        assert report.local_mb + report.remote_mb == pytest.approx(size)
+        assert 0.0 <= report.local_fraction <= 1.0
+
+
+@given(sizes, st.integers(min_value=1, max_value=3), st.integers(2, 8))
+@settings(max_examples=40, deadline=None)
+def test_block_accounting_adds_up(size, replication, workers):
+    env, cluster, hdfs = make_stack(workers, replication)
+    run(env, hdfs.write("/f", size, "worker-0"))
+    entry = hdfs.namenode.lookup("/f")
+    assert sum(block.size_mb for block in entry.blocks) == pytest.approx(size)
+    expected_replicas = min(replication, workers)
+    for block in entry.blocks:
+        assert len(block.replicas) == expected_replicas
+        assert len(set(block.replicas)) == expected_replicas  # distinct nodes
+
+
+@given(st.integers(2, 8), st.integers(1, 3))
+@settings(max_examples=30, deadline=None)
+def test_local_fractions_sum_to_replication(workers, replication):
+    """Across all nodes, local fractions of one file total ~replication."""
+    env, cluster, hdfs = make_stack(workers, replication)
+    run(env, hdfs.write("/f", 256.0, "worker-0"))
+    total = sum(
+        hdfs.local_fraction(["/f"], node) for node in cluster.worker_ids
+    )
+    assert total == pytest.approx(min(replication, workers))

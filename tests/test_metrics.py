@@ -1,0 +1,79 @@
+"""Tests for the metrics recorder and utilisation reporting."""
+
+import pytest
+
+from repro.cluster import Cluster, ClusterSpec, M3_LARGE
+from repro.sim import Environment, FlowNetwork, MetricRecorder
+
+
+def test_series_recording_steps():
+    env = Environment()
+    net = FlowNetwork(env)
+    net.add_resource("link", 100.0)
+    recorder = MetricRecorder(net, keep_series=True)
+    first = net.start_flow(200.0, ["link"])
+    env.run(until=first.done)
+    second = net.start_flow(100.0, ["link"])
+    env.run(until=second.done)
+    recorder.finish()
+    series = recorder.usages["link"].series
+    rates = [rate for _t, rate in series]
+    # idle -> 100 -> (brief gap at same instant) -> 100 -> 0.
+    assert 100.0 in rates
+    assert rates[-1] == 0.0
+    # Times strictly non-decreasing.
+    times = [t for t, _rate in series]
+    assert times == sorted(times)
+
+
+def test_duration_and_average_rate():
+    env = Environment()
+    net = FlowNetwork(env)
+    net.add_resource("cpu", 4.0)
+    recorder = MetricRecorder(net)
+    flow = net.start_flow(8.0, ["cpu"], cap=2.0)
+    env.run(until=flow.done)
+    env.timeout(4.0)
+    env.run()
+    recorder.finish()
+    # 8 core-seconds over 8 seconds total -> mean 1.0 core.
+    assert recorder.duration() == pytest.approx(8.0)
+    assert recorder.average_rate("cpu") == pytest.approx(1.0)
+    assert recorder.average_utilization("cpu") == pytest.approx(0.25)
+
+
+def test_unknown_resource_reports_zero():
+    env = Environment()
+    net = FlowNetwork(env)
+    net.add_resource("x", 1.0)
+    recorder = MetricRecorder(net)
+    assert recorder.average_rate("nope") == 0.0
+    assert recorder.average_utilization("nope") == 0.0
+
+
+def test_cluster_report_covers_roles_and_kinds():
+    env = Environment()
+    cluster = Cluster(
+        env, ClusterSpec(worker_spec=M3_LARGE, worker_count=2, master_count=2)
+    )
+    done = cluster.node("worker-1").compute(work=4.0, threads=2)
+    env.run(until=done)
+    report = cluster.utilization_report()
+    for key in ("worker_cpu", "worker_disk", "worker_link",
+                "master_cpu", "master_disk", "master_link", "backbone"):
+        assert key in report
+        assert set(report[key]) == {"mean_rate", "mean_utilization", "peak_rate"}
+    assert report["worker_cpu"]["peak_rate"] == pytest.approx(2.0)
+    assert report["worker_cpu"]["mean_utilization"] > 0
+
+
+def test_peak_tracks_maximum():
+    env = Environment()
+    net = FlowNetwork(env)
+    net.add_resource("r", 10.0)
+    recorder = MetricRecorder(net)
+    a = net.start_flow(5.0, ["r"], cap=2.0)
+    b = net.start_flow(5.0, ["r"], cap=3.0)
+    env.run(until=env.all_of([a.done, b.done]))
+    recorder.finish()
+    assert recorder.usages["r"].peak == pytest.approx(5.0)

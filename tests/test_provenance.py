@@ -1,0 +1,177 @@
+"""Unit tests for the Provenance Manager and its three store backends."""
+
+import pytest
+
+from repro.core.provenance import (
+    DocumentProvenanceStore,
+    ProvenanceManager,
+    SqlProvenanceStore,
+    TraceFileStore,
+    event_from_dict,
+)
+from repro.core.provenance.events import TaskEvent, WorkflowEvent
+from repro.errors import ProvenanceError
+from repro.hdfs.filesystem import FileTransferReport
+from repro.sim import Environment
+from repro.workflow import TaskSpec
+
+ALL_STORES = [TraceFileStore, SqlProvenanceStore, DocumentProvenanceStore]
+
+
+def sample_task_event(signature="align", node="worker-0", runtime=10.0,
+                      timestamp=1.0, success=True):
+    return TaskEvent(
+        workflow_id="w1", task_id=f"t-{signature}-{node}-{timestamp}",
+        signature=signature, tool=signature, command=f"{signature} x",
+        node_id=node, timestamp=timestamp, makespan_seconds=runtime,
+        inputs=["/in/a"], outputs=["/out/b"], output_sizes={"/out/b": 2.0},
+        success=success,
+    )
+
+
+@pytest.mark.parametrize("store_cls", ALL_STORES)
+def test_store_roundtrip_and_queries(store_cls):
+    store = store_cls()
+    store.append(WorkflowEvent(
+        workflow_id="w1", workflow_name="demo", timestamp=0.0, phase="start",
+    ))
+    store.append(sample_task_event(runtime=10.0, timestamp=1.0))
+    store.append(sample_task_event(runtime=30.0, timestamp=5.0))
+    store.append(sample_task_event(node="worker-1", runtime=99.0, timestamp=2.0))
+    assert len(store.records()) == 4
+    assert len(store.records(kind="task")) == 3
+    assert len(store.records(kind="workflow", workflow_id="w1")) == 1
+    # Latest observation wins.
+    assert store.latest_task_runtime("align", "worker-0") == 30.0
+    assert store.latest_task_runtime("align", "worker-1") == 99.0
+    assert store.latest_task_runtime("align", "worker-9") is None
+    assert store.observed_nodes("align") == {"worker-0", "worker-1"}
+    store.clear()
+    assert store.records() == []
+    assert store.latest_task_runtime("align", "worker-0") is None
+
+
+@pytest.mark.parametrize("store_cls", ALL_STORES)
+def test_failed_attempts_do_not_feed_estimates(store_cls):
+    store = store_cls()
+    store.append(sample_task_event(runtime=10.0, timestamp=1.0))
+    store.append(sample_task_event(runtime=0.0, timestamp=9.0, success=False))
+    assert store.latest_task_runtime("align", "worker-0") == 10.0
+
+
+def test_trace_store_jsonl_roundtrip():
+    store = TraceFileStore()
+    store.append(WorkflowEvent(
+        workflow_id="w1", workflow_name="demo", timestamp=0.0, phase="start",
+    ))
+    store.append(sample_task_event())
+    text = store.to_jsonl()
+    restored = TraceFileStore.from_jsonl(text)
+    assert restored.records() == store.records()
+
+
+def test_trace_store_save_load(tmp_path):
+    store = TraceFileStore()
+    store.append(sample_task_event())
+    path = tmp_path / "trace.jsonl"
+    store.save(str(path))
+    restored = TraceFileStore.load(str(path))
+    assert restored.records() == store.records()
+
+
+def test_trace_store_rejects_garbage():
+    with pytest.raises(ProvenanceError):
+        TraceFileStore.from_jsonl("this is { not json")
+
+
+def test_event_from_dict_rejects_unknown_kind():
+    with pytest.raises(ValueError):
+        event_from_dict({"kind": "mystery"})
+
+
+def test_event_from_dict_roundtrip():
+    event = sample_task_event()
+    restored = event_from_dict(event.to_dict())
+    assert restored == event
+
+
+def test_sql_store_aggregation():
+    store = SqlProvenanceStore()
+    store.append(sample_task_event(runtime=10.0, timestamp=1.0))
+    store.append(sample_task_event(node="worker-1", runtime=30.0, timestamp=2.0))
+    assert store.aggregate_mean_runtime("align") == pytest.approx(20.0)
+    assert store.aggregate_mean_runtime("missing") is None
+
+
+def test_document_store_rejects_unknown_kind():
+    store = DocumentProvenanceStore()
+
+    class Bogus:
+        def to_dict(self):
+            return {"kind": "bogus", "event_id": "x"}
+
+    with pytest.raises(ProvenanceError):
+        store.append(Bogus())
+
+
+def test_manager_records_and_estimates():
+    env = Environment()
+    manager = ProvenanceManager(env)
+    workflow_id = manager.workflow_started("demo")
+    task = TaskSpec(tool="sort", inputs=["/in/a"], outputs=["/out/b"])
+    manager.task_finished(
+        workflow_id, task, "worker-0", 42.0, {"/out/b": 1.0},
+        success=True, attempt=1,
+    )
+    manager.file_moved(workflow_id, task, FileTransferReport(
+        path="/in/a", node_id="worker-0", size_mb=8.0, local_mb=8.0,
+        remote_mb=0.0, seconds=0.05, direction="in",
+    ))
+    manager.workflow_finished(workflow_id, "demo", 100.0, success=True)
+    assert manager.runtime_estimate("sort", "worker-0") == 42.0
+    assert manager.runtime_estimate("sort", "worker-1") == 0.0
+    assert manager.has_observation("sort", "worker-0")
+    assert not manager.has_observation("sort", "worker-1")
+    assert manager.mean_runtime("sort", ["worker-0", "worker-1"]) == 21.0
+    kinds = [record["kind"] for record in manager.store.records()]
+    assert sorted(kinds) == ["file", "task", "workflow", "workflow"]
+    # The trace is valid JSON lines.
+    lines = manager.trace_jsonl().splitlines()
+    assert len(lines) == 4
+
+
+def test_manager_with_sql_backend_serves_scheduler_queries():
+    env = Environment()
+    manager = ProvenanceManager(env, SqlProvenanceStore())
+    workflow_id = manager.workflow_started("demo")
+    task = TaskSpec(tool="sort", inputs=["/in"], outputs=["/out"])
+    manager.task_finished(workflow_id, task, "worker-3", 7.5, {},
+                          success=True, attempt=1)
+    assert manager.runtime_estimate("sort", "worker-3") == 7.5
+
+
+def test_workflow_summary_aggregates_run():
+    env = Environment()
+    manager = ProvenanceManager(env)
+    workflow_id = manager.workflow_started("demo")
+    for node, runtime in (("worker-0", 10.0), ("worker-1", 30.0)):
+        task = TaskSpec(tool="sort", inputs=["/in"], outputs=[f"/out-{node}"])
+        manager.task_finished(workflow_id, task, node, runtime, {},
+                              success=True, attempt=1)
+        manager.file_moved(workflow_id, task, FileTransferReport(
+            path="/in", node_id=node, size_mb=100.0, local_mb=50.0,
+            remote_mb=50.0, seconds=1.0, direction="in",
+        ))
+    failed = TaskSpec(tool="grep", inputs=["/in"], outputs=["/fail"])
+    manager.task_finished(workflow_id, failed, "worker-0", 0.0, {},
+                          success=False, attempt=1)
+    summary = manager.workflow_summary(workflow_id)
+    assert summary["tasks_succeeded"] == 2
+    assert summary["tasks_failed"] == 1
+    sort_stats = summary["signatures"]["sort"]
+    assert sort_stats["count"] == 2
+    assert sort_stats["mean_seconds"] == 20.0
+    assert sort_stats["max_seconds"] == 30.0
+    assert sort_stats["nodes"] == ["worker-0", "worker-1"]
+    assert summary["stage_in_mb"] == 200.0
+    assert summary["remote_in_mb"] == 100.0

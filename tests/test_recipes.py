@@ -1,0 +1,91 @@
+"""Unit tests for the recipe / Karamel provisioning layer."""
+
+import pytest
+
+from repro.cluster import ClusterSpec, M3_LARGE
+from repro.errors import RecipeError
+from repro.langs import CuneiformSource
+from repro.recipes import (
+    ClusterDefinition,
+    DataItem,
+    Karamel,
+    Recipe,
+    RecipeBook,
+    builtin_recipe_book,
+)
+from repro.workloads import kmeans_cuneiform
+
+
+def test_recipe_build_sorts_data():
+    recipe = Recipe.build("r", data={"/b": 2.0, "/a": 1.0})
+    assert [item.path for item in recipe.data] == ["/a", "/b"]
+
+
+def test_data_item_validation():
+    with pytest.raises(RecipeError):
+        DataItem("/x", -1.0)
+    assert DataItem("s3://bucket/x", 1.0).external
+    assert not DataItem("/x", 1.0).external
+
+
+def test_recipe_book_resolves_dependencies_in_order():
+    book = RecipeBook()
+    book.register(Recipe.build("base"))
+    book.register(Recipe.build("mid", depends_on=("base",)))
+    book.register(Recipe.build("top", depends_on=("mid", "base")))
+    ordered = [r.name for r in book.resolve(["top"])]
+    assert ordered == ["base", "mid", "top"]
+
+
+def test_recipe_book_rejects_cycles_and_duplicates():
+    book = RecipeBook()
+    book.register(Recipe.build("a", depends_on=("b",)))
+    book.register(Recipe.build("b", depends_on=("a",)))
+    with pytest.raises(RecipeError, match="cycle"):
+        book.resolve(["a"])
+    with pytest.raises(RecipeError, match="already registered"):
+        book.register(Recipe.build("a"))
+    with pytest.raises(RecipeError, match="unknown"):
+        book.resolve(["missing"])
+
+
+def test_karamel_launch_installs_and_stages():
+    book = builtin_recipe_book(kmeans_partitions=2)
+    karamel = Karamel(book)
+    definition = ClusterDefinition(
+        name="kmeans-cluster",
+        spec=ClusterSpec(worker_spec=M3_LARGE, worker_count=2),
+        recipes=["kmeans"],
+    )
+    hiway = karamel.launch(definition)
+    assert hiway.cluster.node("worker-0").has_software("kmeans-assign")
+    assert hiway.hdfs.exists("/data/points/part-00.csv")
+    assert hiway.hdfs.exists("/data/points/centroids-seed.csv")
+    # The provisioned installation can actually run the workflow.
+    script = kmeans_cuneiform(partitions=2, iterations_until_convergence=2)
+    result = hiway.run(CuneiformSource(script, name="kmeans"))
+    assert result.success, result.diagnostics
+
+
+def test_karamel_registers_external_data():
+    book = RecipeBook()
+    book.register(Recipe.build(
+        "s3-data", data={"s3://bucket/reads.fastq": 100.0}
+    ))
+    hiway = Karamel(book).launch(ClusterDefinition(
+        name="c",
+        spec=ClusterSpec(worker_spec=M3_LARGE, worker_count=1),
+        recipes=["s3-data"],
+    ))
+    assert hiway.hdfs.exists("s3://bucket/reads.fastq")
+    assert hiway.hdfs.size_of("s3://bucket/reads.fastq") == 100.0
+
+
+def test_builtin_book_contains_all_workflows():
+    book = builtin_recipe_book()
+    assert set(book.names()) >= {
+        "hiway-base", "snv-calling", "trapline", "montage", "kmeans",
+    }
+    # Every workflow recipe depends on the base recipe.
+    for name in ("snv-calling", "trapline", "montage", "kmeans"):
+        assert "hiway-base" in book.get(name).depends_on

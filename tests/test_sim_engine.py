@@ -1,0 +1,258 @@
+"""Unit tests for the discrete-event kernel."""
+
+import pytest
+
+from repro.errors import Interrupt, SimulationError
+from repro.sim import Environment
+
+
+def test_timeout_advances_clock():
+    env = Environment()
+
+    def proc(env):
+        yield env.timeout(5.0)
+        return "done"
+
+    process = env.process(proc(env))
+    env.run()
+    assert env.now == 5.0
+    assert process.value == "done"
+
+
+def test_processes_interleave_deterministically():
+    env = Environment()
+    log = []
+
+    def ticker(env, name, period, count):
+        for _ in range(count):
+            yield env.timeout(period)
+            log.append((env.now, name))
+
+    env.process(ticker(env, "a", 2.0, 3))
+    env.process(ticker(env, "b", 3.0, 2))
+    env.run()
+    # Ties at t=6 resolve in scheduling order: b scheduled its timeout at
+    # t=3, before a re-armed at t=4.
+    assert log == [(2.0, "a"), (3.0, "b"), (4.0, "a"), (6.0, "b"), (6.0, "a")]
+
+
+def test_event_succeed_delivers_value():
+    env = Environment()
+    gate = env.event()
+    seen = []
+
+    def waiter(env):
+        value = yield gate
+        seen.append(value)
+
+    def firer(env):
+        yield env.timeout(1.0)
+        gate.succeed(42)
+
+    env.process(waiter(env))
+    env.process(firer(env))
+    env.run()
+    assert seen == [42]
+    assert gate.ok and gate.value == 42
+
+
+def test_event_fail_raises_in_waiter():
+    env = Environment()
+    gate = env.event()
+    caught = []
+
+    def waiter(env):
+        try:
+            yield gate
+        except ValueError as exc:
+            caught.append(str(exc))
+
+    def firer(env):
+        yield env.timeout(1.0)
+        gate.fail(ValueError("boom"))
+
+    env.process(waiter(env))
+    env.process(firer(env))
+    env.run()
+    assert caught == ["boom"]
+
+
+def test_unhandled_failure_propagates_from_run():
+    env = Environment()
+
+    def failing(env):
+        yield env.timeout(1.0)
+        raise RuntimeError("unhandled")
+
+    env.process(failing(env))
+    with pytest.raises(RuntimeError, match="unhandled"):
+        env.run()
+
+
+def test_run_until_time_stops_clock_exactly():
+    env = Environment()
+
+    def proc(env):
+        yield env.timeout(100.0)
+
+    env.process(proc(env))
+    env.run(until=7.5)
+    assert env.now == 7.5
+
+
+def test_run_until_event_returns_its_value():
+    env = Environment()
+
+    def proc(env):
+        yield env.timeout(3.0)
+        return "result"
+
+    process = env.process(proc(env))
+    assert env.run(until=process) == "result"
+    assert env.now == 3.0
+
+
+def test_run_until_event_never_fires_raises():
+    env = Environment()
+    gate = env.event()
+
+    def proc(env):
+        yield env.timeout(1.0)
+
+    env.process(proc(env))
+    with pytest.raises(SimulationError):
+        env.run(until=gate)
+
+
+def test_all_of_waits_for_every_event():
+    env = Environment()
+    times = []
+
+    def sleeper(env, delay):
+        yield env.timeout(delay)
+        return delay
+
+    def waiter(env):
+        procs = [env.process(sleeper(env, d)) for d in (1.0, 4.0, 2.0)]
+        results = yield env.all_of(procs)
+        times.append(env.now)
+        return sorted(results.values())
+
+    process = env.process(waiter(env))
+    env.run()
+    assert times == [4.0]
+    assert process.value == [1.0, 2.0, 4.0]
+
+
+def test_any_of_fires_on_first_event():
+    env = Environment()
+
+    def sleeper(env, delay):
+        yield env.timeout(delay)
+        return delay
+
+    def waiter(env):
+        procs = [env.process(sleeper(env, d)) for d in (5.0, 1.0)]
+        results = yield env.any_of(procs)
+        return (env.now, list(results.values()))
+
+    process = env.process(waiter(env))
+    env.run()
+    assert process.value == (1.0, [1.0])
+
+
+def test_all_of_empty_fires_immediately():
+    env = Environment()
+
+    def waiter(env):
+        yield env.all_of([])
+        return env.now
+
+    process = env.process(waiter(env))
+    env.run()
+    assert process.value == 0.0
+
+
+def test_interrupt_throws_into_process():
+    env = Environment()
+    outcome = []
+
+    def victim(env):
+        try:
+            yield env.timeout(100.0)
+        except Interrupt as interrupt:
+            outcome.append((env.now, interrupt.cause))
+
+    def attacker(env, victim_proc):
+        yield env.timeout(2.0)
+        victim_proc.interrupt("preempted")
+
+    victim_proc = env.process(victim(env))
+    env.process(attacker(env, victim_proc))
+    env.run()
+    assert outcome == [(2.0, "preempted")]
+
+
+def test_interrupt_finished_process_rejected():
+    env = Environment()
+
+    def quick(env):
+        yield env.timeout(1.0)
+
+    process = env.process(quick(env))
+    env.run()
+    with pytest.raises(SimulationError):
+        process.interrupt()
+
+
+def test_negative_timeout_rejected():
+    env = Environment()
+    with pytest.raises(SimulationError):
+        env.timeout(-1.0)
+
+
+def test_double_trigger_rejected():
+    env = Environment()
+    gate = env.event()
+    gate.succeed(1)
+    with pytest.raises(SimulationError):
+        gate.succeed(2)
+
+
+def test_waiting_on_processed_event_resumes():
+    env = Environment()
+    gate = env.event()
+    gate.succeed("early")
+    seen = []
+
+    def late_waiter(env):
+        value = yield gate
+        seen.append(value)
+
+    env.process(late_waiter(env))
+    env.run()
+    assert seen == ["early"]
+
+
+def test_process_value_propagates_through_join():
+    env = Environment()
+
+    def child(env):
+        yield env.timeout(1.0)
+        return 99
+
+    def parent(env):
+        value = yield env.process(child(env))
+        return value + 1
+
+    process = env.process(parent(env))
+    env.run()
+    assert process.value == 100
+
+
+def test_peek_reports_next_event_time():
+    env = Environment()
+    env.timeout(5.0)
+    assert env.peek() == 5.0
+    env2 = Environment()
+    assert env2.peek() == float("inf")

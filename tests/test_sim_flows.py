@@ -1,0 +1,212 @@
+"""Unit tests for the max-min fair-share flow model."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import Environment, FlowNetwork, MetricRecorder
+
+
+def make_net(**resources):
+    env = Environment()
+    net = FlowNetwork(env)
+    for name, capacity in resources.items():
+        net.add_resource(name, capacity)
+    return env, net
+
+
+def finish_time(env, flow):
+    env.run(until=flow.done)
+    return env.now
+
+
+def test_single_flow_runs_at_capacity():
+    env, net = make_net(link=100.0)
+    flow = net.start_flow(500.0, ["link"])
+    assert finish_time(env, flow) == pytest.approx(5.0)
+
+
+def test_two_flows_share_fairly():
+    env, net = make_net(link=100.0)
+    a = net.start_flow(500.0, ["link"])
+    b = net.start_flow(500.0, ["link"])
+    # Both at 50 until both finish at t=10.
+    env.run(until=env.all_of([a.done, b.done]))
+    assert env.now == pytest.approx(10.0)
+
+
+def test_short_flow_releases_bandwidth_to_long_flow():
+    env, net = make_net(link=100.0)
+    long_flow = net.start_flow(1000.0, ["link"])
+    short_flow = net.start_flow(100.0, ["link"])
+    # Shared at 50 each: short done at t=2 (100/50); long has 900 left,
+    # then runs at 100: done at 2 + 900/100 = 11.
+    assert finish_time(env, short_flow) == pytest.approx(2.0)
+    assert finish_time(env, long_flow) == pytest.approx(11.0)
+
+
+def test_flow_cap_limits_rate():
+    env, net = make_net(link=100.0)
+    flow = net.start_flow(100.0, ["link"], cap=10.0)
+    assert finish_time(env, flow) == pytest.approx(10.0)
+
+
+def test_capped_flow_leaves_bandwidth_for_others():
+    env, net = make_net(link=100.0)
+    capped = net.start_flow(100.0, ["link"], cap=10.0)
+    greedy = net.start_flow(900.0, ["link"])
+    # capped at 10, greedy at 90: both finish at t=10.
+    assert finish_time(env, greedy) == pytest.approx(10.0)
+    assert capped.done.triggered
+
+
+def test_multi_resource_flow_bound_by_tightest():
+    env, net = make_net(src=100.0, backbone=1000.0, dst=40.0)
+    flow = net.start_flow(400.0, ["src", "backbone", "dst"])
+    assert finish_time(env, flow) == pytest.approx(10.0)
+
+
+def test_backbone_contention_across_disjoint_links():
+    # Four transfers on separate host links but a shared 100-unit backbone.
+    env, net = make_net(a=100.0, b=100.0, c=100.0, d=100.0, bb=100.0)
+    flows = [
+        net.start_flow(250.0, [name, "bb"]) for name in ("a", "b", "c", "d")
+    ]
+    env.run(until=env.all_of([f.done for f in flows]))
+    # Each gets 25 via the backbone: 250/25 = 10s.
+    assert env.now == pytest.approx(10.0)
+
+
+def test_unbalanced_sharing_max_min():
+    # Flow X uses only the backbone; flows Y1,Y2 share one 30-unit link.
+    env, net = make_net(bb=90.0, link=30.0)
+    y1 = net.start_flow(150.0, ["link", "bb"])
+    y2 = net.start_flow(150.0, ["link", "bb"])
+    x = net.start_flow(600.0, ["bb"])
+    # Max-min: y1=y2=15 (link-bound), x gets remaining 60.
+    env.run(until=env.all_of([y1.done, y2.done]))
+    assert env.now == pytest.approx(10.0)
+    # x had 600 - 60*10 = 0 left; completes at the same instant.
+    assert finish_time(env, x) == pytest.approx(10.0)
+
+
+def test_permanent_flow_consumes_share_forever():
+    env, net = make_net(cpu=2.0)
+    stress = net.start_flow(None, ["cpu"], cap=1.0, label="stress")
+    work = net.start_flow(10.0, ["cpu"], cap=2.0)
+    # Stress pins one core; work gets the other: 10/1 = 10s.
+    assert finish_time(env, work) == pytest.approx(10.0)
+    assert stress.done is None
+    assert stress.rate == pytest.approx(1.0)
+
+
+def test_cancel_removes_permanent_flow():
+    env, net = make_net(cpu=2.0)
+    stress = net.start_flow(None, ["cpu"], cap=1.0)
+    stress.cancel()
+    work = net.start_flow(10.0, ["cpu"], cap=2.0)
+    assert finish_time(env, work) == pytest.approx(5.0)
+
+
+def test_zero_size_flow_completes_immediately():
+    env, net = make_net(link=10.0)
+    flow = net.start_flow(0.0, ["link"])
+    env.run()
+    assert flow.done.triggered
+
+
+def test_oversubscribed_cpu_fair_shares_cores():
+    # 4 cores, 8 single-threaded jobs -> each runs at 0.5 cores.
+    env, net = make_net(cpu=4.0)
+    jobs = [net.start_flow(10.0, ["cpu"], cap=1.0) for _ in range(8)]
+    env.run(until=env.all_of([j.done for j in jobs]))
+    assert env.now == pytest.approx(20.0)
+
+
+def test_undersubscribed_cpu_respects_thread_cap():
+    # 4 cores, one 2-thread job: rate 2, not 4.
+    env, net = make_net(cpu=4.0)
+    job = net.start_flow(10.0, ["cpu"], cap=2.0)
+    assert finish_time(env, job) == pytest.approx(5.0)
+
+
+def test_duplicate_resource_rejected():
+    env = Environment()
+    net = FlowNetwork(env)
+    net.add_resource("x", 1.0)
+    with pytest.raises(SimulationError):
+        net.add_resource("x", 2.0)
+
+
+def test_invalid_flow_arguments_rejected():
+    env, net = make_net(link=10.0)
+    with pytest.raises(SimulationError):
+        net.start_flow(10.0, [])
+    with pytest.raises(SimulationError):
+        net.start_flow(10.0, ["link"], cap=0.0)
+    with pytest.raises(SimulationError):
+        net.start_flow(-5.0, ["link"])
+    with pytest.raises(SimulationError):
+        FlowNetwork(env).add_resource("bad", 0.0)
+
+
+def test_metrics_integrate_usage_exactly():
+    env, net = make_net(link=100.0)
+    recorder = MetricRecorder(net, keep_series=True)
+    flow = net.start_flow(500.0, ["link"])
+    env.run(until=flow.done)
+    # Idle tail to confirm the integral stops growing.
+    env.timeout(5.0)
+    env.run()
+    recorder.finish()
+    usage = recorder.usages["link"]
+    assert usage.integral == pytest.approx(500.0)
+    assert usage.peak == pytest.approx(100.0)
+    assert recorder.average_utilization("link") == pytest.approx(0.5)
+
+
+def test_metrics_aggregate_by_kind():
+    env = Environment()
+    net = FlowNetwork(env)
+    net.add_resource("cpu:n1", 2.0, kind="cpu")
+    net.add_resource("cpu:n2", 2.0, kind="cpu")
+    recorder = MetricRecorder(net)
+    f1 = net.start_flow(10.0, ["cpu:n1"], cap=2.0)
+    env.run(until=f1.done)
+    recorder.finish()
+    summary = recorder.aggregate("cpu", prefix="cpu:")
+    # n1 fully used (2.0), n2 idle (0.0) -> mean rate 1.0.
+    assert summary["mean_rate"] == pytest.approx(1.0)
+    assert summary["peak_rate"] == pytest.approx(2.0)
+
+
+def test_no_livelock_when_completion_delta_is_below_clock_ulp():
+    """Regression: a flow whose remaining work needs a completion delay
+    smaller than the clock's float resolution must still complete
+    (before the fix, the timer re-fired at the same instant forever)."""
+    env = Environment(initial_time=66_000.0)  # large clock, coarse ULP
+    net = FlowNetwork(env)
+    net.add_resource("r", 100.0)
+    # Remaining just above the drain tolerance: the natural completion
+    # delay (~1e-11 s) is below the ULP of t=66,000.
+    flow = net.start_flow(2e-9, ["r"])
+    env.run(until=flow.done)
+    assert flow.done.triggered
+    assert env.now >= 66_000.0
+
+
+def test_long_horizon_simulation_terminates():
+    """Chains of tiny and huge flows across a week of simulated time."""
+    env = Environment()
+    net = FlowNetwork(env)
+    net.add_resource("r", 1.0)
+
+    def churn(env):
+        for index in range(200):
+            size = 1e-8 if index % 2 else 3_000.0
+            flow = net.start_flow(size, ["r"])
+            yield flow.done
+        return env.now
+
+    process = env.process(churn(env))
+    env.run(until=process)
+    assert process.value > 200_000.0  # ~100 big flows x 3000 s

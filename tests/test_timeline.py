@@ -1,0 +1,48 @@
+"""Tests for the provenance timeline renderer."""
+
+from repro.cluster import Cluster, ClusterSpec, M3_LARGE
+from repro.core import HiWay, render_timeline
+from repro.core.provenance import TraceFileStore
+from repro.sim import Environment
+from repro.workflow import StaticTaskSource, TaskSpec, WorkflowGraph
+
+
+def test_empty_store_renders_placeholder():
+    assert "no task events" in render_timeline(TraceFileStore())
+
+
+def test_timeline_shows_tasks_and_scale():
+    env = Environment()
+    cluster = Cluster(env, ClusterSpec(worker_spec=M3_LARGE, worker_count=2))
+    hiway = HiWay(cluster)
+    hiway.install_everywhere("sort", "grep")
+    hiway.stage_inputs({"/in/a": 32.0})
+    graph = WorkflowGraph("tl")
+    graph.add_task(TaskSpec(tool="sort", inputs=["/in/a"], outputs=["/m"],
+                            task_id="s"))
+    graph.add_task(TaskSpec(tool="grep", inputs=["/m"], outputs=["/o"],
+                            task_id="g"))
+    result = hiway.run(StaticTaskSource(graph))
+    text = render_timeline(hiway.provenance.store, workflow_id=result.workflow_id)
+    lines = text.splitlines()
+    assert "task attempt(s)" in lines[0]
+    assert len(lines) == 3  # header + two tasks
+    assert any(line.startswith("sort@") for line in lines[1:])
+    assert any(line.startswith("grep@") for line in lines[1:])
+    assert all("#" in line for line in lines[1:])
+
+
+def test_timeline_marks_failures():
+    env = Environment()
+    cluster = Cluster(env, ClusterSpec(worker_spec=M3_LARGE, worker_count=2))
+    hiway = HiWay(cluster)
+    hiway.install_everywhere("grep")
+    hiway.cluster.node("worker-1").install("sort")
+    hiway.stage_inputs({"/in/a": 8.0})
+    graph = WorkflowGraph("tl2")
+    graph.add_task(TaskSpec(tool="sort", inputs=["/in/a"], outputs=["/o"]))
+    result = hiway.run(StaticTaskSource(graph), scheduler="fcfs")
+    assert result.success
+    text = render_timeline(hiway.provenance.store, workflow_id=result.workflow_id)
+    if result.task_failures:
+        assert "x" in text

@@ -1,0 +1,122 @@
+"""Unit tests for the tool-profile layer."""
+
+import pytest
+
+from repro.errors import WorkflowError
+from repro.tools import (
+    ToolProfile,
+    ToolRegistry,
+    astronomy_registry,
+    bioinformatics_registry,
+    default_registry,
+    generic_registry,
+)
+
+
+def test_profile_work_model():
+    profile = ToolProfile(name="t", work_per_mb=2.0, fixed_work=10.0)
+    assert profile.work_for(0.0) == 10.0
+    assert profile.work_for(100.0) == 210.0
+    assert profile.work_for(-5.0) == 10.0  # clamped
+
+
+def test_profile_output_model():
+    profile = ToolProfile(
+        name="t", work_per_mb=1.0, output_ratio=0.5, fixed_output_mb=2.0
+    )
+    assert profile.total_output_mb(100.0) == 52.0
+    assert profile.output_sizes(100.0, 2) == [26.0, 26.0]
+    assert profile.output_sizes(100.0, 0) == []
+
+
+def test_profile_scratch_model():
+    profile = ToolProfile(name="t", work_per_mb=1.0, scratch_mb_per_input_mb=3.0)
+    assert profile.scratch_mb(10.0) == 30.0
+    assert profile.scratch_mb(-1.0) == 0.0
+
+
+def test_profile_validation():
+    with pytest.raises(WorkflowError):
+        ToolProfile(name="bad", work_per_mb=-1.0)
+    with pytest.raises(WorkflowError):
+        ToolProfile(name="bad", work_per_mb=1.0, max_threads=0)
+    with pytest.raises(WorkflowError):
+        ToolProfile(name="bad", work_per_mb=1.0, output_ratio=-0.5)
+
+
+def test_registry_lookup_and_errors():
+    registry = ToolRegistry()
+    profile = ToolProfile(name="mine", work_per_mb=1.0)
+    registry.register(profile)
+    assert registry.get("mine") is profile
+    assert "mine" in registry
+    with pytest.raises(WorkflowError, match="unknown tool"):
+        registry.get("theirs")
+
+
+def test_registry_merge_prefers_other():
+    first = ToolRegistry()
+    first.register(ToolProfile(name="x", work_per_mb=1.0))
+    second = ToolRegistry()
+    second.register(ToolProfile(name="x", work_per_mb=9.0))
+    merged = first.merged_with(second)
+    assert merged.get("x").work_per_mb == 9.0
+
+
+def test_builtin_registries_cover_paper_tools():
+    bio = bioinformatics_registry()
+    for name in ("bowtie2", "samtools-sort", "varscan", "annovar",
+                 "cram-compress", "tophat2", "cufflinks", "cuffmerge",
+                 "cuffdiff", "fastqc", "trimmomatic"):
+        assert name in bio
+    astro = astronomy_registry()
+    for name in ("mProjectPP", "mDiffFit", "mConcatFit", "mBgModel",
+                 "mBackground", "mImgtbl", "mAdd", "mShrink", "mJPEG"):
+        assert name in astro
+    generic = generic_registry()
+    for name in ("sh", "python", "kmeans-assign", "kmeans-update",
+                 "kmeans-converged"):
+        assert name in generic
+    combined = default_registry()
+    assert set(combined.names()) >= set(bio.names()) | set(astro.names())
+
+
+def test_calibration_anchor_single_node_snv_sample():
+    """Table 2's anchor: one 8 GB sample on one m3.large ~ 330 min.
+
+    Rough closed-form check against the profiles (2 cores, threads
+    capped at 2, CRAM chain): keeps silent recalibration from drifting.
+    """
+    bio = bioinformatics_registry()
+    files, mb = 8, 1032.0
+    cores = 2
+    align = files * bio.get("bowtie2").work_for(mb) / cores
+    aligned_mb = files * bio.get("bowtie2").total_output_mb(mb)
+    cram = bio.get("cram-compress")
+    compress = files * cram.work_for(aligned_mb / files) / cores
+    cram_mb = files * cram.total_output_mb(aligned_mb / files)
+    sort = bio.get("samtools-sort").work_for(cram_mb) / cores
+    sorted_mb = bio.get("samtools-sort").total_output_mb(cram_mb)
+    varscan = bio.get("varscan").work_for(sorted_mb) / cores
+    vcf_mb = bio.get("varscan").total_output_mb(sorted_mb)
+    annotate = bio.get("annovar").work_for(vcf_mb)  # single-threaded
+    total_minutes = (align + compress + sort + varscan + annotate) / 60.0
+    assert 240 < total_minutes < 420
+
+
+def test_tophat_dominates_trapline_compute():
+    """Sec. 4.2: the gap is 'most notable in the computationally costly
+    TopHat2 step' — the profile must reflect that dominance."""
+    bio = bioinformatics_registry()
+    replicate_mb = 1750.0
+    trimmed = bio.get("trimmomatic").total_output_mb(replicate_mb)
+    tophat_work = bio.get("tophat2").work_for(trimmed)
+    rest = (
+        bio.get("fastqc").work_for(replicate_mb)
+        + bio.get("trimmomatic").work_for(replicate_mb)
+        + bio.get("cufflinks").work_for(
+            bio.get("tophat2").total_output_mb(trimmed)
+        )
+    )
+    assert tophat_work > rest
+    assert bio.get("tophat2").scratch_mb_per_input_mb >= 4.0

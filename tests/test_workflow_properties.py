@@ -1,0 +1,80 @@
+"""Property-based tests on workflow-level invariants."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.cluster import Cluster, ClusterSpec, M3_LARGE
+from repro.core import HiWay, HiWayConfig
+from repro.sim import Environment
+from repro.workflow import StaticTaskSource, TaskSpec, WorkflowGraph
+
+TOOLS = ("sort", "grep", "cat", "gzip")
+
+
+@st.composite
+def random_dags(draw):
+    """Random layered DAGs: every task reads from earlier layers."""
+    layer_sizes = draw(st.lists(st.integers(1, 4), min_size=1, max_size=4))
+    graph = WorkflowGraph("random")
+    previous_outputs = ["/in/seed-0", "/in/seed-1"]
+    counter = 0
+    for layer, size in enumerate(layer_sizes):
+        outputs_this_layer = []
+        for index in range(size):
+            n_inputs = draw(st.integers(1, min(3, len(previous_outputs))))
+            # Sampling without replacement keeps inputs distinct.
+            inputs = draw(st.permutations(previous_outputs))[:n_inputs]
+            tool = draw(st.sampled_from(TOOLS))
+            output = f"/mid/{layer}-{index}"
+            graph.add_task(TaskSpec(
+                tool=tool, inputs=list(inputs), outputs=[output],
+                task_id=f"task-{counter}",
+            ))
+            outputs_this_layer.append(output)
+            counter += 1
+        previous_outputs = previous_outputs + outputs_this_layer
+    return graph
+
+
+@given(random_dags())
+@settings(max_examples=40, deadline=None)
+def test_topological_order_is_valid(graph):
+    order = graph.topological_order()
+    assert len(order) == len(graph)
+    seen = set()
+    for task in order:
+        for dep in graph.dependencies_of(task):
+            assert dep in seen
+        seen.add(task.task_id)
+
+
+@given(random_dags())
+@settings(max_examples=40, deadline=None)
+def test_input_output_partition(graph):
+    inputs = set(graph.input_files())
+    outputs = set(graph.output_files())
+    produced = {p for t in graph.tasks.values() for p in t.outputs}
+    consumed = {p for t in graph.tasks.values() for p in t.inputs}
+    assert inputs.isdisjoint(produced)
+    assert outputs.issubset(produced)
+    assert outputs.isdisjoint(consumed)
+
+
+@given(random_dags(), st.sampled_from(["fcfs", "data-aware", "round-robin"]))
+@settings(max_examples=15, deadline=None)
+def test_any_random_dag_executes_to_completion(graph, policy):
+    """Engine invariant: every well-formed DAG runs every task exactly
+    once, under every scheduling policy, and materialises every output."""
+    env = Environment()
+    cluster = Cluster(env, ClusterSpec(worker_spec=M3_LARGE, worker_count=3))
+    hiway = HiWay(cluster, config=HiWayConfig(
+        container_vcores=1, container_memory_mb=1024.0,
+    ))
+    hiway.install_everywhere(*TOOLS)
+    hiway.stage_inputs({"/in/seed-0": 8.0, "/in/seed-1": 4.0})
+    result = hiway.run(StaticTaskSource(graph), scheduler=policy)
+    assert result.success, result.diagnostics
+    assert result.tasks_completed == len(graph)
+    for path in graph.output_files():
+        assert hiway.hdfs.exists(path)
+    # Makespan can never beat the critical path under the tool profiles.
+    assert result.runtime_seconds > 0

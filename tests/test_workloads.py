@@ -1,0 +1,171 @@
+"""Unit + integration tests for the paper's workload generators."""
+
+from repro.cluster import Cluster, ClusterSpec, C3_2XLARGE, M3_LARGE
+from repro.core import HiWay, HiWayConfig
+from repro.langs import CuneiformSource, DaxSource, GalaxySource, parse_dax
+from repro.sim import Environment
+from repro.workloads import (
+    KMEANS_TOOLS,
+    MONTAGE_TOOLS,
+    RNASEQ_TOOLS,
+    SNV_TOOLS,
+    images_for_degree,
+    kmeans_cuneiform,
+    kmeans_inputs,
+    montage_dax,
+    montage_inputs,
+    sample_read_files,
+    snv_cuneiform,
+    snv_graph,
+    trapline_galaxy_json,
+    trapline_input_bindings,
+    trapline_inputs,
+)
+
+
+def test_sample_read_files_shapes():
+    files = sample_read_files(2)
+    assert len(files) == 16
+    assert all(size == 1024.0 for size in files.values())
+    s3_files = sample_read_files(1, from_s3=True)
+    assert all(path.startswith("s3://") for path in s3_files)
+
+
+def test_snv_cuneiform_parses_and_emits_alignments():
+    inputs = sample_read_files(2)
+    source = CuneiformSource(snv_cuneiform(inputs), name="snv")
+    first = source.initial_tasks()
+    # 16 read files -> 16 alignment tasks discovered immediately.
+    assert len(first) == 16
+    assert {t.tool for t in first} == {"bowtie2"}
+    assert sorted(source.input_files()) == sorted(inputs)
+
+
+def test_snv_cuneiform_with_cram_adds_compress_stage():
+    inputs = sample_read_files(1)
+    text = snv_cuneiform(inputs, use_cram=True)
+    assert "cram-compress" in text
+    source = CuneiformSource(text, name="snv-cram")
+    source.initial_tasks()
+
+
+def test_snv_graph_matches_script_structure():
+    inputs = sample_read_files(2)
+    graph = snv_graph(inputs)
+    # Per sample: 8 align + sort + varscan + annovar = 11.
+    assert len(graph) == 22
+    assert len(graph.output_files()) == 2
+    graph_cram = snv_graph(inputs, use_cram=True)
+    assert len(graph_cram) == 38  # + 8 compress per sample
+
+
+def test_snv_end_to_end_on_hiway():
+    env = Environment()
+    cluster = Cluster(env, ClusterSpec(worker_spec=M3_LARGE, worker_count=4))
+    hiway = HiWay(cluster, config=HiWayConfig(
+        container_vcores=2, container_memory_mb=7_000.0,
+    ))
+    hiway.install_everywhere(*SNV_TOOLS)
+    inputs = sample_read_files(1, files_per_sample=2, mb_per_file=64.0)
+    hiway.stage_inputs(inputs)
+    result = hiway.run(
+        CuneiformSource(snv_cuneiform(inputs), name="snv"), scheduler="data-aware"
+    )
+    assert result.success, result.diagnostics
+    assert result.tasks_completed == 5  # 2 align + sort + varscan + annovar
+
+
+def test_trapline_galaxy_export_parses():
+    source = GalaxySource(
+        trapline_galaxy_json(), input_bindings=trapline_input_bindings()
+    )
+    graph = source.graph
+    # 6 replicates x (fastqc + trimmomatic + tophat2 + cufflinks) + merge + diff.
+    assert len(graph) == 26
+    tools = {task.tool for task in graph.tasks.values()}
+    assert tools == set(RNASEQ_TOOLS)
+    assert len(graph.input_files()) == 6
+
+
+def test_trapline_runs_on_hiway():
+    env = Environment()
+    cluster = Cluster(env, ClusterSpec(worker_spec=C3_2XLARGE, worker_count=3))
+    hiway = HiWay(
+        cluster,
+        config=HiWayConfig(container_vcores=8, container_memory_mb=14_000.0),
+        max_containers_per_node=1,
+    )
+    hiway.install_everywhere(*RNASEQ_TOOLS)
+    inputs = trapline_inputs(mb_per_replicate=40.0)
+    hiway.stage_inputs(inputs)
+    source = GalaxySource(
+        trapline_galaxy_json(), input_bindings=trapline_input_bindings()
+    )
+    result = hiway.run(source, scheduler="data-aware")
+    assert result.success, result.diagnostics
+    assert result.tasks_completed == 26
+
+
+def test_montage_dax_structure():
+    assert images_for_degree(0.25) == 11
+    dax = montage_dax(0.25)
+    graph = parse_dax(dax)
+    tools = {}
+    for task in graph.tasks.values():
+        tools[task.tool] = tools.get(task.tool, 0) + 1
+    assert tools["mProjectPP"] == 11
+    assert tools["mDiffFit"] == 10
+    assert tools["mBackground"] == 11
+    for singleton in ("mConcatFit", "mBgModel", "mImgtbl", "mAdd", "mShrink", "mJPEG"):
+        assert tools[singleton] == 1
+    assert set(tools) == set(MONTAGE_TOOLS)
+    assert len(graph.input_files()) == 11
+    assert "/out/mosaic.jpg" in graph.output_files()
+
+
+def test_montage_scales_with_degree():
+    small = parse_dax(montage_dax(0.1))
+    large = parse_dax(montage_dax(1.0))
+    assert len(large) > len(small)
+
+
+def test_montage_runs_on_hiway_under_heft():
+    env = Environment()
+    cluster = Cluster(
+        env, ClusterSpec(worker_spec=M3_LARGE, worker_count=4, master_count=2)
+    )
+    hiway = HiWay(cluster, config=HiWayConfig(container_vcores=1,
+                                              container_memory_mb=2_000.0))
+    hiway.install_everywhere(*MONTAGE_TOOLS)
+    hiway.stage_inputs(montage_inputs(0.25))
+    result = hiway.run(DaxSource(montage_dax(0.25)), scheduler="heft")
+    assert result.success, result.diagnostics
+    # 11 proj + 10 diff + concat + bgmodel + 11 bg + imgtbl + add +
+    # shrink + jpeg = 38 tasks.
+    assert result.tasks_completed == 38
+
+
+def test_kmeans_iterates_until_convergence_on_hiway():
+    env = Environment()
+    cluster = Cluster(env, ClusterSpec(worker_spec=M3_LARGE, worker_count=4))
+    hiway = HiWay(cluster)
+    hiway.install_everywhere(*KMEANS_TOOLS)
+    hiway.stage_inputs(kmeans_inputs(partitions=4))
+    script = kmeans_cuneiform(partitions=4, iterations_until_convergence=3)
+    result = hiway.run(CuneiformSource(script, name="kmeans"), scheduler="fcfs")
+    assert result.success, result.diagnostics
+    # Per iteration: 4 assign + 1 update + 1 check; 4 iterations total
+    # (3 non-converged + the converging one).
+    assert result.tasks_completed == 4 * 6
+
+
+def test_kmeans_rejected_by_static_scheduler():
+    env = Environment()
+    cluster = Cluster(env, ClusterSpec(worker_spec=M3_LARGE, worker_count=2))
+    hiway = HiWay(cluster)
+    hiway.install_everywhere(*KMEANS_TOOLS)
+    hiway.stage_inputs(kmeans_inputs(partitions=2))
+    script = kmeans_cuneiform(partitions=2)
+    result = hiway.run(CuneiformSource(script, name="kmeans"), scheduler="heft")
+    assert not result.success
+    assert any("iterative" in d for d in result.diagnostics)
