@@ -12,6 +12,8 @@ Usage::
         --input /in/data.csv=256 --scheduler data-aware \\
         --trace-out run.trace
     python -m repro run run.trace --workers 2      # re-execute a trace
+    python -m repro trace workflow.cf --workers 4 \\
+        --input /in/data.csv=256 --out run.json    # Chrome about:tracing
 """
 
 from __future__ import annotations
@@ -57,6 +59,31 @@ def _parse_binding(spec: str) -> tuple[str, str]:
     return label, path
 
 
+def _add_workflow_arguments(parser: argparse.ArgumentParser) -> None:
+    """Arguments shared by every workflow-executing subcommand."""
+    parser.add_argument("workflow", help="workflow file (any supported language)")
+    parser.add_argument("--language", choices=["cuneiform", "dax", "galaxy", "trace", "cwl"],
+                        help="skip auto-detection")
+    parser.add_argument("--workers", type=int, default=4)
+    parser.add_argument("--masters", type=int, default=1)
+    parser.add_argument("--node-type", choices=sorted(NODE_TYPES), default="m3.large")
+    parser.add_argument("--scheduler", choices=SCHEDULER_NAMES, default="data-aware")
+    parser.add_argument("--input", dest="inputs", type=_parse_size_spec,
+                        action="append", default=[], metavar="PATH=SIZE_MB",
+                        help="stage an input file (repeatable)")
+    parser.add_argument("--bind", dest="bindings", type=_parse_binding,
+                        action="append", default=[], metavar="LABEL=PATH",
+                        help="bind a Galaxy input step to a staged file")
+    parser.add_argument("--install", dest="tools", action="append", default=[],
+                        metavar="TOOL", help="install only these tools "
+                        "(default: every built-in profile)")
+    parser.add_argument("--container-vcores", type=int, default=1)
+    parser.add_argument("--container-memory-mb", type=float, default=1024.0)
+    parser.add_argument("--containers-per-node", type=int, default=None)
+    parser.add_argument("--backbone-mb-s", type=float, default=10_000.0)
+    parser.add_argument("--quiet", action="store_true")
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Build the argument parser for the client CLI."""
     parser = argparse.ArgumentParser(
@@ -65,35 +92,25 @@ def build_parser() -> argparse.ArgumentParser:
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
     run = subparsers.add_parser("run", help="execute a workflow file")
-    run.add_argument("workflow", help="workflow file (any supported language)")
-    run.add_argument("--language", choices=["cuneiform", "dax", "galaxy", "trace", "cwl"],
-                     help="skip auto-detection")
-    run.add_argument("--workers", type=int, default=4)
-    run.add_argument("--masters", type=int, default=1)
-    run.add_argument("--node-type", choices=sorted(NODE_TYPES), default="m3.large")
-    run.add_argument("--scheduler", choices=SCHEDULER_NAMES, default="data-aware")
-    run.add_argument("--input", dest="inputs", type=_parse_size_spec,
-                     action="append", default=[], metavar="PATH=SIZE_MB",
-                     help="stage an input file (repeatable)")
-    run.add_argument("--bind", dest="bindings", type=_parse_binding,
-                     action="append", default=[], metavar="LABEL=PATH",
-                     help="bind a Galaxy input step to a staged file")
-    run.add_argument("--install", dest="tools", action="append", default=[],
-                     metavar="TOOL", help="install only these tools "
-                     "(default: every built-in profile)")
-    run.add_argument("--container-vcores", type=int, default=1)
-    run.add_argument("--container-memory-mb", type=float, default=1024.0)
-    run.add_argument("--containers-per-node", type=int, default=None)
-    run.add_argument("--backbone-mb-s", type=float, default=10_000.0)
+    _add_workflow_arguments(run)
     run.add_argument("--trace-out", help="save the provenance trace here")
     run.add_argument("--timeline", action="store_true",
                      help="print an ASCII Gantt chart of the run")
-    run.add_argument("--quiet", action="store_true")
+    trace = subparsers.add_parser(
+        "trace",
+        help="execute a workflow with the tracer attached and export a "
+        "Chrome trace_event JSON (chrome://tracing / Perfetto)",
+    )
+    _add_workflow_arguments(trace)
+    trace.add_argument("--out", default="trace.json",
+                       help="Chrome trace JSON output path (default: trace.json)")
+    trace.add_argument("--no-hdfs-events", action="store_true",
+                       help="skip per-file HDFS read/write spans")
     return parser
 
 
-def run_command(args) -> int:
-    """Execute the ``run`` subcommand; returns the exit code."""
+def _execute_workflow(args, tracing: bool = False, trace_hdfs_events: bool = True):
+    """Provision, stage, run. Returns ``(hiway, result)`` or an int exit code."""
     with open(args.workflow, "r", encoding="utf-8") as handle:
         text = handle.read()
     kwargs = {}
@@ -121,6 +138,8 @@ def run_command(args) -> int:
             container_vcores=args.container_vcores,
             container_memory_mb=args.container_memory_mb,
             scheduler=args.scheduler,
+            tracing=tracing,
+            trace_hdfs_events=trace_hdfs_events,
         ),
     )
     tools = args.tools or hiway.tools.names()
@@ -141,6 +160,15 @@ def run_command(args) -> int:
             print(f"  output: {path} ({size_mb:.1f} MB)")
         for diagnostic in result.diagnostics:
             print(f"  diagnostic: {diagnostic}")
+    return hiway, result
+
+
+def run_command(args) -> int:
+    """Execute the ``run`` subcommand; returns the exit code."""
+    outcome = _execute_workflow(args)
+    if isinstance(outcome, int):
+        return outcome
+    hiway, result = outcome
     if args.timeline:
         from repro.core.timeline import render_timeline
 
@@ -154,11 +182,33 @@ def run_command(args) -> int:
     return 0 if result.success else 1
 
 
+def trace_command(args) -> int:
+    """Execute the ``trace`` subcommand; returns the exit code."""
+    outcome = _execute_workflow(
+        args, tracing=True, trace_hdfs_events=not args.no_hdfs_events
+    )
+    if isinstance(outcome, int):
+        return outcome
+    hiway, result = outcome
+    hiway.tracer.save(args.out)
+    if not args.quiet:
+        print(f"  chrome trace saved to {args.out} "
+              "(open in chrome://tracing or https://ui.perfetto.dev)")
+        for key, value in sorted(hiway.tracer.metrics_summary().items()):
+            if isinstance(value, float):
+                print(f"  {key}: {value:.3f}")
+            else:
+                print(f"  {key}: {value}")
+    return 0 if result.success else 1
+
+
 def main(argv: Optional[list[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
     if args.command == "run":
         return run_command(args)
+    if args.command == "trace":
+        return trace_command(args)
     raise AssertionError("unreachable")  # pragma: no cover
 
 

@@ -7,6 +7,7 @@ from typing import Iterator
 from repro.cluster.node import Node
 from repro.cluster.specs import ClusterSpec
 from repro.errors import SimulationError
+from repro.obs.bus import EventBus
 from repro.sim.engine import Environment, Event
 from repro.sim.flows import FlowNetwork, Resource
 from repro.sim.metrics import MetricRecorder
@@ -29,6 +30,10 @@ class Cluster:
     def __init__(self, env: Environment, spec: ClusterSpec, record_series: bool = False):
         self.env = env
         self.spec = spec
+        #: The observability spine: every layer running on this cluster
+        #: (YARN RM/NM, HDFS, failure injector, Hi-WAY AMs) publishes
+        #: its events here. Idle until a subscriber attaches.
+        self.bus = EventBus(env)
         self.network = FlowNetwork(env)
         self.backbone: Resource = self.network.add_resource(
             "backbone", spec.backbone_mb_s, kind="backbone"

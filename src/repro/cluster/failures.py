@@ -12,6 +12,7 @@ import random
 from dataclasses import dataclass, field
 from typing import Optional, TYPE_CHECKING
 
+from repro.obs.events import FaultInjected
 from repro.sim.engine import Environment
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -79,12 +80,18 @@ class FailureInjector:
         delay = at - self.env.now
         if delay > 0:
             yield self.env.timeout(delay)
-        self.crash_now(node_id)
+        self.crash_now(node_id, planned_at=at)
 
-    def crash_now(self, node_id: str) -> None:
+    def crash_now(self, node_id: str, planned_at: Optional[float] = None) -> None:
         """Immediately kill ``node_id`` (idempotent)."""
         if node_id in self.crashed:
             return
+        bus = self.rm.cluster.bus
+        if bus.wants(FaultInjected):
+            bus.emit(FaultInjected(
+                node_id=node_id,
+                planned_at=self.env.now if planned_at is None else planned_at,
+            ))
         self.rm.crash_node(node_id)
         if self.hdfs is not None:
             self.hdfs.namenode.remove_datanode(node_id)

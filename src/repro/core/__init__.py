@@ -4,7 +4,7 @@ from repro.core.am import HiWayApplicationMaster, WorkflowResult
 from repro.core.client import HiWay
 from repro.core.config import HiWayConfig
 from repro.core.execution import TaskResult, run_task_in_container
-from repro.core.timeline import render_timeline
+from repro.core.timeline import TimelineBuilder, render_timeline
 from repro.core.provenance import (
     DocumentProvenanceStore,
     ProvenanceManager,
@@ -29,6 +29,7 @@ __all__ = [
     "TaskResult",
     "run_task_in_container",
     "render_timeline",
+    "TimelineBuilder",
     "ProvenanceManager",
     "TraceFileStore",
     "SqlProvenanceStore",

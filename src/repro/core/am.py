@@ -26,6 +26,14 @@ from repro.core.execution import TaskResult, run_task_in_container
 from repro.core.provenance.manager import ProvenanceManager
 from repro.core.schedulers import SchedulerContext, WorkflowScheduler, make_scheduler
 from repro.errors import WorkflowError
+from repro.obs.events import (
+    FileStaged,
+    TaskAttemptFinished,
+    TaskDispatched,
+    TaskRetried,
+    WorkflowFinished,
+    WorkflowStarted,
+)
 from repro.hdfs.filesystem import HdfsClient
 from repro.tools.profile import ToolRegistry
 from repro.workflow.model import TaskSource, TaskSpec
@@ -88,6 +96,11 @@ class HiWayApplicationMaster:
         self.tools = tools
         self.source = source
         self.provenance = provenance
+        # The AM publishes workflow/task/file events onto the cluster's
+        # observability bus; the provenance manager records them as a
+        # bus subscriber (Sec. 3.5), alongside any tracer attached.
+        self.bus = cluster.bus
+        provenance.attach(self.bus)
         self.config = config or HiWayConfig()
         if scheduler is None:
             scheduler = self.config.scheduler
@@ -161,7 +174,10 @@ class HiWayApplicationMaster:
         """Generator process executing the whole workflow."""
         started = self.env.now
         self._app = self.rm.register_application(self.name)
-        self._workflow_id = self.provenance.workflow_started(self.name)
+        self._workflow_id = self.provenance.allocate_workflow_id()
+        self.bus.emit(WorkflowStarted(
+            workflow_id=self._workflow_id, name=self.name
+        ))
         if self._am_host is not None:
             # Container supervision / RM heartbeat load for the lifetime
             # of the workflow, growing with cluster size (Fig. 6).
@@ -215,9 +231,12 @@ class HiWayApplicationMaster:
             self.rm.unregister_application(self._app)
         finished = self.env.now
         if self._workflow_id is not None:
-            self.provenance.workflow_finished(
-                self._workflow_id, self.name, finished - started, success
-            )
+            self.bus.emit(WorkflowFinished(
+                workflow_id=self._workflow_id,
+                name=self.name,
+                runtime_seconds=finished - started,
+                success=success,
+            ))
         outputs: dict[str, float] = {}
         if success:
             for path in self.source.target_files():
@@ -253,6 +272,13 @@ class HiWayApplicationMaster:
             if not self._is_ready(state):
                 continue
             state.dispatched = True
+            if self.bus.wants(TaskDispatched):
+                self.bus.emit(TaskDispatched(
+                    workflow_id=self._workflow_id or "",
+                    task_id=state.task.task_id,
+                    tool=state.task.tool,
+                    attempt=state.attempts + 1,
+                ))
             self._submit_attempt(state)
 
     def _submit_attempt(self, state: _TaskState) -> None:
@@ -343,17 +369,19 @@ class HiWayApplicationMaster:
         task = state.task
         state.completed = True
         self._completed += 1
-        self.provenance.task_finished(
-            self._workflow_id,
-            task,
-            result.node_id,
-            result.makespan_seconds,
-            result.output_sizes,
+        self.bus.emit(TaskAttemptFinished(
+            workflow_id=self._workflow_id,
+            task=task,
+            node_id=result.node_id,
+            makespan_seconds=result.makespan_seconds,
+            output_sizes=result.output_sizes,
             success=True,
             attempt=state.attempts,
-        )
+        ))
         for report in result.input_reports + result.output_reports:
-            self.provenance.file_moved(self._workflow_id, task, report)
+            self.bus.emit(FileStaged(
+                workflow_id=self._workflow_id, task=task, report=report
+            ))
             self._charge(self.config.am_work_per_event, "am-provenance")
         self._charge(self.config.am_work_per_event, "am-provenance")
         self.scheduler.on_task_finished(
@@ -368,20 +396,27 @@ class HiWayApplicationMaster:
     def _on_task_failure(self, state: _TaskState, node_id: str, error) -> None:
         task = state.task
         self._failures += 1
-        self.provenance.task_finished(
-            self._workflow_id,
-            task,
-            node_id,
-            0.0,
-            {},
+        self.bus.emit(TaskAttemptFinished(
+            workflow_id=self._workflow_id,
+            task=task,
+            node_id=node_id,
+            makespan_seconds=0.0,
+            output_sizes={},
             success=False,
             attempt=state.attempts,
             stderr=repr(error),
-        )
+        ))
         self.scheduler.on_task_finished(task, node_id, 0.0, success=False)
         if state.attempts <= self.config.max_retries and not self._workflow_failed:
             # Re-try on a different compute node (Sec. 3.1).
             state.excluded_nodes.add(node_id)
+            if self.bus.wants(TaskRetried):
+                self.bus.emit(TaskRetried(
+                    workflow_id=self._workflow_id or "",
+                    task_id=task.task_id,
+                    attempt=state.attempts,
+                    excluded_node=node_id,
+                ))
             alive = {
                 node.node_id for node in self.cluster.workers if node.alive
             }

@@ -18,6 +18,7 @@ from repro.core.provenance.manager import ProvenanceManager
 from repro.core.provenance.stores import ProvenanceStore
 from repro.core.schedulers import WorkflowScheduler
 from repro.hdfs.filesystem import HdfsClient
+from repro.obs.tracer import Tracer
 from repro.sim.engine import Process
 from repro.tools.generic import default_registry
 from repro.tools.profile import ToolRegistry
@@ -53,6 +54,16 @@ class HiWay:
         self.tools = tools if tools is not None else default_registry()
         self.config = config or HiWayConfig()
         self.provenance = ProvenanceManager(self.env, provenance_store)
+        #: The installation's observability bus (owned by the cluster).
+        self.bus = cluster.bus
+        self.cluster.metrics.attach(self.bus)
+        #: Present when ``config.tracing`` is on; export with
+        #: :meth:`Tracer.save` / :meth:`Tracer.to_chrome_trace`.
+        self.tracer: Optional[Tracer] = None
+        if self.config.tracing:
+            self.tracer = Tracer(
+                self.bus, include_hdfs=self.config.trace_hdfs_events
+            )
 
     def submit(
         self,

@@ -38,6 +38,15 @@ class HiWayConfig:
     #: Future-work feature (Sec. 5): size each container to its task's
     #: tool profile instead of the fixed installation-wide capability.
     adaptive_container_sizing: bool = False
+    #: Attach a :class:`~repro.obs.tracer.Tracer` to the installation's
+    #: event bus, recording spans for Chrome ``about:tracing`` export.
+    #: Off by default: with no subscriber the bus's fast path keeps the
+    #: hot loops event-free.
+    tracing: bool = False
+    #: Whether an attached tracer also records per-file HDFS reads and
+    #: writes — the chattiest topic; disable for long runs where only
+    #: container/task lifecycle matters.
+    trace_hdfs_events: bool = True
 
     def __post_init__(self) -> None:
         if self.container_vcores < 1:

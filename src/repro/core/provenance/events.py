@@ -26,6 +26,11 @@ WORKFLOW_EVENT = "workflow"
 TASK_EVENT = "task"
 FILE_EVENT = "file"
 
+#: Process-global fallback counter, used only when an event is built
+#: without an explicit ``event_id`` (e.g. directly in tests). The
+#: :class:`~repro.core.provenance.manager.ProvenanceManager` passes ids
+#: from its own per-instance counter so that two runs in one process
+#: produce identical, re-executable traces.
 _event_ids = itertools.count(1)
 
 

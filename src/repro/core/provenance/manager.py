@@ -5,6 +5,15 @@ granularity in a pluggable store, and serves the Workflow Scheduler with
 up-to-date runtime statistics. The recorded trace holds everything
 needed to re-run the workflow, which is why Hi-WAY counts its own traces
 as a fourth workflow language.
+
+Since the observability refactor the manager is a *subscriber* of the
+cluster-wide event bus (:mod:`repro.obs`): the AM publishes typed
+workflow/task/file events and :meth:`ProvenanceManager.attach` bridges
+them into the store. The direct recording methods remain the public API
+(and are what the bridge calls), so stores see byte-identical records.
+
+Workflow and event ids are allocated from per-manager counters, so two
+runs in one process produce identical, re-executable traces.
 """
 
 from __future__ import annotations
@@ -15,12 +24,12 @@ from typing import Optional
 from repro.core.provenance.events import FileEvent, TaskEvent, WorkflowEvent
 from repro.core.provenance.stores import ProvenanceStore, TraceFileStore
 from repro.hdfs.filesystem import FileTransferReport
+from repro.obs import events as obs_events
+from repro.obs.bus import EventBus
 from repro.sim.engine import Environment
 from repro.workflow.model import TaskSpec
 
 __all__ = ["ProvenanceManager"]
-
-_workflow_ids = itertools.count(1)
 
 
 class ProvenanceManager:
@@ -29,18 +38,90 @@ class ProvenanceManager:
     def __init__(self, env: Environment, store: Optional[ProvenanceStore] = None):
         self.env = env
         self.store = store if store is not None else TraceFileStore()
+        self._event_ids = itertools.count(1)
+        self._workflow_ids = itertools.count(1)
+        #: Workflow ids this manager allocated; bus events for other
+        #: managers' workflows (possible when two installations share a
+        #: cluster) are ignored by the bridge handlers.
+        self._known_workflows: set[str] = set()
+        self._buses: list[EventBus] = []
+
+    def _next_event_id(self) -> str:
+        return f"event-{next(self._event_ids):08d}"
+
+    # -- bus bridge (the observability spine) --------------------------------------
+
+    def attach(self, bus: EventBus) -> None:
+        """Subscribe this manager to a bus's workflow/task/file events.
+
+        Idempotent per bus. The AM publishes
+        :class:`~repro.obs.events.WorkflowStarted` /
+        :class:`~repro.obs.events.WorkflowFinished` /
+        :class:`~repro.obs.events.TaskAttemptFinished` /
+        :class:`~repro.obs.events.FileStaged` and this bridge persists
+        them through the unchanged recording methods below.
+        """
+        if any(existing is bus for existing in self._buses):
+            return
+        self._buses.append(bus)
+        bus.subscribe(obs_events.WorkflowStarted, self._on_workflow_started)
+        bus.subscribe(obs_events.WorkflowFinished, self._on_workflow_finished)
+        bus.subscribe(obs_events.TaskAttemptFinished, self._on_task_finished)
+        bus.subscribe(obs_events.FileStaged, self._on_file_staged)
+
+    def _on_workflow_started(self, event: obs_events.WorkflowStarted) -> None:
+        if event.workflow_id in self._known_workflows:
+            self.workflow_started(event.name, workflow_id=event.workflow_id)
+
+    def _on_workflow_finished(self, event: obs_events.WorkflowFinished) -> None:
+        if event.workflow_id in self._known_workflows:
+            self.workflow_finished(
+                event.workflow_id, event.name, event.runtime_seconds, event.success
+            )
+
+    def _on_task_finished(self, event: obs_events.TaskAttemptFinished) -> None:
+        if event.workflow_id in self._known_workflows:
+            self.task_finished(
+                event.workflow_id,
+                event.task,
+                event.node_id,
+                event.makespan_seconds,
+                event.output_sizes,
+                success=event.success,
+                attempt=event.attempt,
+                stderr=event.stderr,
+            )
+
+    def _on_file_staged(self, event: obs_events.FileStaged) -> None:
+        if event.workflow_id in self._known_workflows:
+            self.file_moved(event.workflow_id, event.task, event.report)
 
     # -- recording -------------------------------------------------------------
 
-    def workflow_started(self, name: str) -> str:
-        """Open a workflow record; returns the fresh workflow id."""
-        workflow_id = f"workflow-{next(_workflow_ids):06d}"
+    def allocate_workflow_id(self) -> str:
+        """Reserve a fresh workflow id without opening its record.
+
+        The AM allocates the id first so it can embed it in the bus
+        events whose bridge (above) then writes the actual records.
+        """
+        workflow_id = f"workflow-{next(self._workflow_ids):06d}"
+        self._known_workflows.add(workflow_id)
+        return workflow_id
+
+    def workflow_started(
+        self, name: str, workflow_id: Optional[str] = None
+    ) -> str:
+        """Open a workflow record; returns the workflow id."""
+        if workflow_id is None:
+            workflow_id = self.allocate_workflow_id()
+        self._known_workflows.add(workflow_id)
         self.store.append(
             WorkflowEvent(
                 workflow_id=workflow_id,
                 workflow_name=name,
                 timestamp=self.env.now,
                 phase="start",
+                event_id=self._next_event_id(),
             )
         )
         return workflow_id
@@ -57,6 +138,7 @@ class ProvenanceManager:
                 phase="end",
                 runtime_seconds=runtime_seconds,
                 success=success,
+                event_id=self._next_event_id(),
             )
         )
 
@@ -89,6 +171,7 @@ class ProvenanceManager:
                 attempt=attempt,
                 stdout="" if not success else f"{task.tool}: ok",
                 stderr=stderr,
+                event_id=self._next_event_id(),
             )
         )
 
@@ -107,6 +190,7 @@ class ProvenanceManager:
                 node_id=report.node_id,
                 timestamp=self.env.now,
                 local_fraction=report.local_fraction,
+                event_id=self._next_event_id(),
             )
         )
 

@@ -4,6 +4,9 @@ A small analysis utility over the Sec. 3.5 provenance records: one line
 per task, bars proportional to wall-clock makespan, grouped the way the
 run actually interleaved. Useful when eyeballing scheduler behaviour
 (e.g. Fig. 9's stragglers) without leaving the terminal.
+
+:class:`TimelineBuilder` produces the same chart live from the
+observability bus, with no provenance store in the loop.
 """
 
 from __future__ import annotations
@@ -11,8 +14,10 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.core.provenance.stores import ProvenanceStore
+from repro.obs import events as obs_events
+from repro.obs.bus import EventBus
 
-__all__ = ["render_timeline"]
+__all__ = ["render_timeline", "TimelineBuilder"]
 
 
 def render_timeline(
@@ -27,14 +32,26 @@ def render_timeline(
     Failed attempts render with ``x`` bars when ``include_failures``.
     """
     records = store.records(kind="task", workflow_id=workflow_id)
-    if not records:
-        return "(no task events recorded)"
     rows = []
     for record in records:
         end = record["timestamp"]
         start = end - record["makespan_seconds"]
         rows.append((start, end, record))
-    rows.sort(key=lambda row: (row[0], row[2]["task_id"]))
+    return _render_rows(rows, width=width, include_failures=include_failures)
+
+
+def _render_rows(
+    rows: list[tuple[float, float, dict]],
+    width: int,
+    include_failures: bool,
+) -> str:
+    # Drop skipped rows up front so label alignment and the chart span
+    # are computed over exactly the rows that will be printed.
+    if not include_failures:
+        rows = [row for row in rows if row[2]["success"]]
+    if not rows:
+        return "(no task events recorded)"
+    rows = sorted(rows, key=lambda row: (row[0], row[2]["task_id"]))
     t0 = min(start for start, _end, _r in rows)
     t1 = max(end for _start, end, _r in rows)
     span = max(t1 - t0, 1e-9)
@@ -53,10 +70,47 @@ def render_timeline(
         glyph = "#" if record["success"] else "x"
         bar = " " * offset + glyph * length
         label = f"{record['signature']}@{record['node_id']}"
-        if not record["success"] and not include_failures:
-            continue
         lines.append(
             f"{label:<{label_width}} |{bar:<{width}}| "
             f"{end - start:7.1f}s"
         )
     return "\n".join(lines)
+
+
+class TimelineBuilder:
+    """Collects task attempts straight off the observability bus.
+
+    Subscribing a builder replaces the store round-trip: the chart is
+    built from :class:`~repro.obs.events.TaskAttemptFinished` events as
+    they are published, so it also works with write-only provenance
+    stores that retain no records.
+    """
+
+    def __init__(self, bus: EventBus, workflow_id: Optional[str] = None):
+        self.workflow_id = workflow_id
+        self._rows: list[tuple[float, float, dict]] = []
+        self._subscription = bus.subscribe(
+            obs_events.TaskAttemptFinished, self._on_task_finished
+        )
+
+    def _on_task_finished(self, event: obs_events.TaskAttemptFinished) -> None:
+        if self.workflow_id is not None and event.workflow_id != self.workflow_id:
+            return
+        end = event.t
+        start = end - event.makespan_seconds
+        self._rows.append((start, end, {
+            "task_id": event.task.task_id if event.task is not None else "?",
+            "signature": event.task.signature if event.task is not None else "?",
+            "node_id": event.node_id,
+            "success": event.success,
+        }))
+
+    def detach(self) -> None:
+        """Stop listening; collected rows stay renderable."""
+        self._subscription.cancel()
+
+    def render(self, width: int = 60, include_failures: bool = True) -> str:
+        """The same ASCII chart as :func:`render_timeline`."""
+        return _render_rows(
+            self._rows, width=width, include_failures=include_failures
+        )

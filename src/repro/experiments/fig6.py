@@ -75,9 +75,15 @@ def run_fig6(config: Optional[Fig6Config] = None, quick: bool = False) -> Experi
         ) / workers
         # Master network: RPC traffic (heartbeats + metadata ops).
         # NameNode ops are counted; heartbeats arrive at ~1 Hz per node.
+        # Container lifecycle RPCs (allocate response, NM launch, NM
+        # completion report) are tallied from the observability bus.
         hdfs_ops = hiway.hdfs.namenode.ops
+        lifecycle_rpcs = 3 * metrics.counters.get("containers_launched", 0)
         heartbeat_rpcs = workers * duration  # 1 Hz per NM and per DN
-        hadoop_net = (hdfs_ops + 2 * heartbeat_rpcs) * RPC_MB / max(duration, 1e-9)
+        hadoop_net = (
+            (hdfs_ops + lifecycle_rpcs + 2 * heartbeat_rpcs)
+            * RPC_MB / max(duration, 1e-9)
+        )
         worker_net = sum(
             metrics.average_rate(f"link:worker-{i}") for i in range(workers)
         ) / workers

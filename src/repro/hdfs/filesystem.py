@@ -20,6 +20,7 @@ from repro.cluster.cluster import Cluster
 from repro.errors import FileNotFoundInHdfs, HdfsError
 from repro.hdfs.blocks import BlockPlacementPolicy, DEFAULT_BLOCK_SIZE_MB
 from repro.hdfs.namenode import NameNode
+from repro.obs.events import HdfsRead, HdfsWrite
 
 __all__ = ["FileTransferReport", "HdfsClient", "S3_PREFIX"]
 
@@ -65,15 +66,31 @@ class HdfsClient:
                 {node.node_id: node.rack for node in cluster.workers},
                 seed=seed,
             )
+        self.bus = cluster.bus
         self.namenode = NameNode(
             datanodes=cluster.worker_ids,
             replication=replication,
             block_size_mb=block_size_mb,
             placement=placement,
             host=namenode_host,
+            bus=cluster.bus,
         )
         self._rng = random.Random(seed)
         self._external: dict[str, float] = {}
+
+    def _report(self, report: FileTransferReport) -> FileTransferReport:
+        """Publish a transfer onto the bus (locality hit/miss spans)."""
+        event_type = HdfsRead if report.direction == "in" else HdfsWrite
+        if self.bus.wants(event_type):
+            self.bus.emit(event_type(
+                path=report.path,
+                node_id=report.node_id,
+                size_mb=report.size_mb,
+                local_mb=report.local_mb,
+                remote_mb=report.remote_mb,
+                seconds=report.seconds,
+            ))
+        return report
 
     # -- external (S3) files ---------------------------------------------------
 
@@ -132,9 +149,9 @@ class HdfsClient:
         if self.is_external(path):
             size = self.size_of(path)
             yield self.cluster.s3_download(node_id, size, label=f"s3-get:{path}")
-            return FileTransferReport(
+            return self._report(FileTransferReport(
                 path, node_id, size, 0.0, size, env.now - started, "in"
-            )
+            ))
         hdfs_file = self.namenode.lookup(path)
         local_mb = 0.0
         by_source: dict[str, float] = {}
@@ -158,10 +175,10 @@ class HdfsClient:
         if pending:
             yield env.all_of(pending)
         remote_mb = hdfs_file.size_mb - local_mb
-        return FileTransferReport(
+        return self._report(FileTransferReport(
             path, node_id, hdfs_file.size_mb, local_mb, remote_mb,
             env.now - started, "in",
-        )
+        ))
 
     def write(self, path: str, size_mb: float, node_id: str):
         """Generator process writing ``size_mb`` MB from ``node_id``.
@@ -194,9 +211,9 @@ class HdfsClient:
         if pending:
             yield env.all_of(pending)
         remote_mb = sum(by_target.values())
-        return FileTransferReport(
+        return self._report(FileTransferReport(
             path, node_id, size_mb, local_mb, remote_mb, env.now - started, "out"
-        )
+        ))
 
     def stage_many(self, files: dict[str, float], seed: int = 0) -> None:
         """Synchronously materialise input files (setup machinery).

@@ -11,6 +11,8 @@ from typing import Optional
 
 from repro.cluster.node import Node
 from repro.errors import FileNotFoundInHdfs, HdfsError
+from repro.obs.bus import EventBus
+from repro.obs.events import BlocksPlaced
 from repro.hdfs.blocks import (
     Block,
     BlockPlacementPolicy,
@@ -38,9 +40,12 @@ class NameNode:
         block_size_mb: float = DEFAULT_BLOCK_SIZE_MB,
         placement: Optional[BlockPlacementPolicy] = None,
         host: Optional[Node] = None,
+        bus: Optional[EventBus] = None,
     ):
         if replication < 1:
             raise HdfsError("replication factor must be >= 1")
+        #: Observability bus (a private idle one when constructed bare).
+        self.bus = bus if bus is not None else EventBus()
         self._files: dict[str, HdfsFile] = {}
         self._datanodes = list(datanodes)
         self.replication = replication
@@ -117,6 +122,14 @@ class NameNode:
                 raise HdfsError("no DataNodes available for placement")
             hdfs_file.blocks.append(Block(index, block_size, replicas))
         self._files[path] = hdfs_file
+        if self.bus.wants(BlocksPlaced):
+            self.bus.emit(BlocksPlaced(
+                path=path,
+                size_mb=size_mb,
+                placements=tuple(
+                    tuple(block.replicas) for block in hdfs_file.blocks
+                ),
+            ))
         return hdfs_file
 
     def lookup(self, path: str) -> HdfsFile:

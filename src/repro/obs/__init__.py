@@ -1,0 +1,61 @@
+"""repro.obs — the unified observability spine.
+
+One typed :class:`EventBus` per cluster carries every workflow, task,
+file, YARN, HDFS and failure event; the :class:`Tracer`,
+:class:`~repro.core.provenance.manager.ProvenanceManager`,
+:class:`~repro.sim.metrics.MetricRecorder` and
+:class:`~repro.core.timeline.TimelineBuilder` are all subscribers of
+the same stream. See the README "Observability" section for the topic
+map and CLI usage.
+"""
+
+from repro.obs.bus import EventBus, Subscription
+from repro.obs.events import (
+    ApplicationRegistered,
+    ApplicationUnregistered,
+    BlocksPlaced,
+    ContainerAllocated,
+    ContainerFinished,
+    ContainerLaunched,
+    ContainerReleased,
+    ContainerRequested,
+    FaultInjected,
+    FileStaged,
+    HdfsRead,
+    HdfsWrite,
+    NodeCrashed,
+    ObsEvent,
+    TaskAttemptFinished,
+    TaskDispatched,
+    TaskRetried,
+    TOPICS,
+    WorkflowFinished,
+    WorkflowStarted,
+)
+from repro.obs.tracer import Tracer
+
+__all__ = [
+    "EventBus",
+    "Subscription",
+    "Tracer",
+    "ObsEvent",
+    "TOPICS",
+    "WorkflowStarted",
+    "WorkflowFinished",
+    "TaskDispatched",
+    "TaskRetried",
+    "TaskAttemptFinished",
+    "FileStaged",
+    "ApplicationRegistered",
+    "ApplicationUnregistered",
+    "ContainerRequested",
+    "ContainerAllocated",
+    "ContainerLaunched",
+    "ContainerFinished",
+    "ContainerReleased",
+    "NodeCrashed",
+    "BlocksPlaced",
+    "HdfsRead",
+    "HdfsWrite",
+    "FaultInjected",
+]

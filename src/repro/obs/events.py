@@ -1,0 +1,272 @@
+"""Typed events published on the observability bus.
+
+Every event class carries a ``topic`` (the coarse layer it originates
+from) so subscribers can listen to a whole layer without enumerating
+classes. The bus stamps ``t`` (simulated time, ``env.now``) and ``seq``
+(a global, strictly increasing sequence number) at emit time, which is
+what makes the recorded stream totally ordered and reproducible under
+identical seeds.
+
+Topics map onto the paper's Sec. 3.5 granularities and extend them to
+the infrastructure below the AM:
+
+=========  =============================================================
+topic      events
+=========  =============================================================
+workflow   :class:`WorkflowStarted`, :class:`WorkflowFinished`
+task       :class:`TaskDispatched`, :class:`TaskRetried`,
+           :class:`TaskAttemptFinished`
+file       :class:`FileStaged`
+yarn       application registration, container request/allocate/launch/
+           finish/release, :class:`NodeCrashed`
+hdfs       :class:`BlocksPlaced`, :class:`HdfsRead`, :class:`HdfsWrite`
+cluster    :class:`FaultInjected`
+=========  =============================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import ClassVar, Optional, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.hdfs.filesystem import FileTransferReport
+    from repro.workflow.model import TaskSpec
+
+__all__ = [
+    "ObsEvent",
+    "WorkflowStarted",
+    "WorkflowFinished",
+    "TaskDispatched",
+    "TaskRetried",
+    "TaskAttemptFinished",
+    "FileStaged",
+    "ApplicationRegistered",
+    "ApplicationUnregistered",
+    "ContainerRequested",
+    "ContainerAllocated",
+    "ContainerLaunched",
+    "ContainerFinished",
+    "ContainerReleased",
+    "NodeCrashed",
+    "BlocksPlaced",
+    "HdfsRead",
+    "HdfsWrite",
+    "FaultInjected",
+    "TOPICS",
+]
+
+TOPICS = ("workflow", "task", "file", "yarn", "hdfs", "cluster")
+
+
+class ObsEvent:
+    """Base class of every bus event.
+
+    ``t`` and ``seq`` are class-level defaults overwritten per instance
+    by :meth:`repro.obs.bus.EventBus.emit`; they are deliberately not
+    dataclass fields so subclasses keep positional constructors for
+    their own payload.
+    """
+
+    topic: ClassVar[str] = "obs"
+    t: float = 0.0
+    seq: int = -1
+
+
+# -- workflow topic (Sec. 3.5 workflow granularity) ---------------------------
+
+
+@dataclass
+class WorkflowStarted(ObsEvent):
+    topic: ClassVar[str] = "workflow"
+    workflow_id: str = ""
+    name: str = ""
+
+
+@dataclass
+class WorkflowFinished(ObsEvent):
+    topic: ClassVar[str] = "workflow"
+    workflow_id: str = ""
+    name: str = ""
+    runtime_seconds: float = 0.0
+    success: bool = True
+
+
+# -- task topic (Sec. 3.5 task granularity) -----------------------------------
+
+
+@dataclass
+class TaskDispatched(ObsEvent):
+    """The AM released a task whose inputs became available."""
+
+    topic: ClassVar[str] = "task"
+    workflow_id: str = ""
+    task_id: str = ""
+    tool: str = ""
+    attempt: int = 1
+
+
+@dataclass
+class TaskRetried(ObsEvent):
+    """A failed attempt is being re-tried on a different node (Sec. 3.1)."""
+
+    topic: ClassVar[str] = "task"
+    workflow_id: str = ""
+    task_id: str = ""
+    attempt: int = 1
+    excluded_node: str = ""
+
+
+@dataclass
+class TaskAttemptFinished(ObsEvent):
+    """One task attempt ended (successfully or not).
+
+    Carries the full :class:`~repro.workflow.model.TaskSpec` so
+    provenance subscribers can persist the re-executable record.
+    """
+
+    topic: ClassVar[str] = "task"
+    workflow_id: str = ""
+    task: Optional["TaskSpec"] = None
+    node_id: str = ""
+    makespan_seconds: float = 0.0
+    output_sizes: dict = field(default_factory=dict)
+    success: bool = True
+    attempt: int = 1
+    stderr: str = ""
+
+
+# -- file topic (Sec. 3.5 file granularity) -----------------------------------
+
+
+@dataclass
+class FileStaged(ObsEvent):
+    """One file moved between HDFS and a container (stage-in/out)."""
+
+    topic: ClassVar[str] = "file"
+    workflow_id: str = ""
+    task: Optional["TaskSpec"] = None
+    report: Optional["FileTransferReport"] = None
+
+
+# -- yarn topic (RM / NM infrastructure) --------------------------------------
+
+
+@dataclass
+class ApplicationRegistered(ObsEvent):
+    topic: ClassVar[str] = "yarn"
+    app_id: str = ""
+    name: str = ""
+
+
+@dataclass
+class ApplicationUnregistered(ObsEvent):
+    topic: ClassVar[str] = "yarn"
+    app_id: str = ""
+
+
+@dataclass
+class ContainerRequested(ObsEvent):
+    topic: ClassVar[str] = "yarn"
+    app_id: str = ""
+    request_id: int = -1
+    vcores: int = 1
+    memory_mb: float = 0.0
+    preferred_node: Optional[str] = None
+    strict: bool = False
+
+
+@dataclass
+class ContainerAllocated(ObsEvent):
+    topic: ClassVar[str] = "yarn"
+    app_id: str = ""
+    request_id: int = -1
+    container_id: str = ""
+    node_id: str = ""
+
+
+@dataclass
+class ContainerLaunched(ObsEvent):
+    topic: ClassVar[str] = "yarn"
+    app_id: str = ""
+    container_id: str = ""
+    node_id: str = ""
+
+
+@dataclass
+class ContainerFinished(ObsEvent):
+    topic: ClassVar[str] = "yarn"
+    app_id: str = ""
+    container_id: str = ""
+    node_id: str = ""
+    success: bool = True
+    state: str = ""
+
+
+@dataclass
+class ContainerReleased(ObsEvent):
+    topic: ClassVar[str] = "yarn"
+    app_id: str = ""
+    container_id: str = ""
+    node_id: str = ""
+
+
+@dataclass
+class NodeCrashed(ObsEvent):
+    """A worker died; its containers were reported failed to the AMs."""
+
+    topic: ClassVar[str] = "yarn"
+    node_id: str = ""
+    containers_lost: int = 0
+
+
+# -- hdfs topic ---------------------------------------------------------------
+
+
+@dataclass
+class BlocksPlaced(ObsEvent):
+    """The NameNode placed the replicas of a newly created file."""
+
+    topic: ClassVar[str] = "hdfs"
+    path: str = ""
+    size_mb: float = 0.0
+    #: One tuple of replica node ids per block, in block order.
+    placements: tuple = ()
+
+
+@dataclass
+class HdfsRead(ObsEvent):
+    """One file staged onto a node; quantifies the locality hit/miss."""
+
+    topic: ClassVar[str] = "hdfs"
+    path: str = ""
+    node_id: str = ""
+    size_mb: float = 0.0
+    local_mb: float = 0.0
+    remote_mb: float = 0.0
+    seconds: float = 0.0
+
+
+@dataclass
+class HdfsWrite(ObsEvent):
+    """One file written from a node (pipeline to remote replicas)."""
+
+    topic: ClassVar[str] = "hdfs"
+    path: str = ""
+    node_id: str = ""
+    size_mb: float = 0.0
+    local_mb: float = 0.0
+    remote_mb: float = 0.0
+    seconds: float = 0.0
+
+
+# -- cluster topic ------------------------------------------------------------
+
+
+@dataclass
+class FaultInjected(ObsEvent):
+    """The failure injector executed one planned crash."""
+
+    topic: ClassVar[str] = "cluster"
+    node_id: str = ""
+    planned_at: float = 0.0

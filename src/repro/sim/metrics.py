@@ -11,9 +11,12 @@ an optional step series for plotting.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Optional, TYPE_CHECKING
 
 from repro.sim.flows import FlowNetwork, Resource
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.obs.bus import EventBus
 
 __all__ = ["ResourceUsage", "MetricRecorder"]
 
@@ -55,6 +58,12 @@ class MetricRecorder:
         self._last_rates: dict[str, float] = {}
         self.usages: dict[str, ResourceUsage] = {}
         self.started_at = network.env.now
+        #: Discrete event tallies derived from the observability bus
+        #: (populated once :meth:`attach` is called). Values are counts
+        #: for lifecycle events and MB totals for the ``*_mb`` keys.
+        self.counters: dict[str, float] = {}
+        self._subscriptions: list = []
+        self._attached_buses: list = []
         network.set_recorder(self)
         self.snapshot(network.env.now)
 
@@ -86,8 +95,76 @@ class MetricRecorder:
         self._last_rates = new_rates
 
     def finish(self, now: Optional[float] = None) -> None:
-        """Settle integrals up to ``now`` (defaults to the current clock)."""
-        self.snapshot(self._network.env.now if now is None else now)
+        """Settle integrals up to ``now`` (defaults to the current clock).
+
+        Also closes every step series with a ``(now, rate)`` sample:
+        :meth:`snapshot` only appends on rate *changes*, so without this
+        a rate that stayed constant until run end would leave the series
+        ending before the run does, silently truncating the final
+        plateau from any plot drawn from it.
+        """
+        now = self._network.env.now if now is None else now
+        self.snapshot(now)
+        if self._keep_series:
+            for usage in self.usages.values():
+                series = usage.series
+                if series and series[-1][0] != now:
+                    series.append((now, series[-1][1]))
+
+    # -- observability bus ------------------------------------------------------
+
+    def attach(self, bus: "EventBus") -> None:
+        """Derive discrete counters from the cluster's event bus.
+
+        Complements the exact flow integrals with the event tallies the
+        paper reports alongside them: containers launched, task attempts
+        (split by outcome), node crashes, and HDFS traffic split into
+        local and remote bytes. Also auto-finishes the recorder when a
+        workflow completes, so step series are closed without the caller
+        having to remember :meth:`finish`. Idempotent per bus.
+        """
+        if any(existing is bus for existing in self._attached_buses):
+            return
+        self._attached_buses.append(bus)
+        from repro.obs import events as obs_events
+
+        def count(name: str, amount: float = 1) -> None:
+            self.counters[name] = self.counters.get(name, 0) + amount
+
+        def on_container(event: obs_events.ContainerLaunched) -> None:
+            count("containers_launched")
+
+        def on_task(event: obs_events.TaskAttemptFinished) -> None:
+            count("task_attempts")
+            count("task_successes" if event.success else "task_failures")
+
+        def on_crash(event: obs_events.NodeCrashed) -> None:
+            count("node_crashes")
+            count("containers_lost", event.containers_lost)
+
+        def on_hdfs(event) -> None:
+            prefix = "hdfs_read" if isinstance(event, obs_events.HdfsRead) else "hdfs_write"
+            count(f"{prefix}_local_mb", event.local_mb)
+            count(f"{prefix}_remote_mb", event.remote_mb)
+
+        def on_workflow_finished(event: obs_events.WorkflowFinished) -> None:
+            self.finish()
+
+        self._subscriptions.extend([
+            bus.subscribe(obs_events.ContainerLaunched, on_container),
+            bus.subscribe(obs_events.TaskAttemptFinished, on_task),
+            bus.subscribe(obs_events.NodeCrashed, on_crash),
+            bus.subscribe(obs_events.HdfsRead, on_hdfs),
+            bus.subscribe(obs_events.HdfsWrite, on_hdfs),
+            bus.subscribe(obs_events.WorkflowFinished, on_workflow_finished),
+        ])
+
+    def detach(self) -> None:
+        """Cancel all bus subscriptions made by :meth:`attach`."""
+        for subscription in self._subscriptions:
+            subscription.cancel()
+        self._subscriptions.clear()
+        self._attached_buses.clear()
 
     # -- report helpers ----------------------------------------------------
 

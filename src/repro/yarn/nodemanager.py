@@ -8,6 +8,8 @@ from typing import Callable, Generator, Optional
 
 from repro.cluster.node import Node
 from repro.errors import ContainerError, YarnError
+from repro.obs.bus import EventBus
+from repro.obs.events import ContainerFinished, ContainerLaunched
 from repro.sim.engine import Environment, Process
 from repro.yarn.records import Container, ContainerResource, ContainerState
 
@@ -51,9 +53,12 @@ class NodeManager:
         env: Environment,
         node: Node,
         max_containers: Optional[int] = None,
+        bus: Optional[EventBus] = None,
     ):
         self.env = env
         self.node = node
+        #: Observability bus (a private idle one when constructed bare).
+        self.bus = bus if bus is not None else EventBus(env)
         self.max_containers = max_containers
         self.available_vcores = node.spec.cores
         self.available_memory_mb = node.spec.memory_mb
@@ -118,6 +123,12 @@ class NodeManager:
                 f"container {container.container_id} in state {container.state}"
             )
         container.state = ContainerState.RUNNING
+        if self.bus.wants(ContainerLaunched):
+            self.bus.emit(ContainerLaunched(
+                app_id=container.app_id,
+                container_id=container.container_id,
+                node_id=self.node_id,
+            ))
         inner = self.env.process(body)
         # Interrupts (release / crash) target the body itself.
         self._running[container.container_id] = inner
@@ -130,18 +141,31 @@ class NodeManager:
             if container.state is ContainerState.RUNNING:
                 container.state = ContainerState.FAILED
             self._running.pop(container.container_id, None)
+            self._report(container, success=False)
             return ContainerOutcome(container, success=False, error=error)
         self._running.pop(container.container_id, None)
         if container.state is ContainerState.RUNNING:
             container.state = ContainerState.COMPLETED
+            self._report(container, success=True)
             return ContainerOutcome(container, success=True, value=value)
         # Released or crashed while the body was winding down.
+        self._report(container, success=False)
         return ContainerOutcome(
             container,
             success=False,
             value=value,
             error=ContainerError(f"container ended in state {container.state}"),
         )
+
+    def _report(self, container: Container, success: bool) -> None:
+        if self.bus.wants(ContainerFinished):
+            self.bus.emit(ContainerFinished(
+                app_id=container.app_id,
+                container_id=container.container_id,
+                node_id=self.node_id,
+                success=success,
+                state=container.state.value,
+            ))
 
     def release(self, container: Container) -> None:
         """Return the container's capacity to the node."""

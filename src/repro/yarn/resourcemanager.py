@@ -22,6 +22,14 @@ from typing import Optional
 
 from repro.cluster.cluster import Cluster
 from repro.errors import YarnError
+from repro.obs.events import (
+    ApplicationRegistered,
+    ApplicationUnregistered,
+    ContainerAllocated,
+    ContainerReleased,
+    ContainerRequested,
+    NodeCrashed,
+)
 from repro.sim.engine import Environment, Event
 from repro.yarn.nodemanager import NodeManager
 from repro.yarn.records import (
@@ -66,8 +74,11 @@ class ResourceManager:
         self._containers_held: dict[str, int] = {}
         self.env = env
         self.cluster = cluster
+        self.bus = cluster.bus
         self.node_managers: dict[str, NodeManager] = {
-            node.node_id: NodeManager(env, node, max_containers_per_node)
+            node.node_id: NodeManager(
+                env, node, max_containers_per_node, bus=self.bus
+            )
             for node in cluster.workers
         }
         for manager in self.node_managers.values():
@@ -97,6 +108,8 @@ class ResourceManager:
         self._apps[app.app_id] = app
         if self._host is not None:
             self._host.compute(REGISTRATION_WORK, threads=1, label="rm-register")
+        if self.bus.wants(ApplicationRegistered):
+            self.bus.emit(ApplicationRegistered(app_id=app.app_id, name=name))
         return app
 
     def unregister_application(self, app: ApplicationHandle) -> None:
@@ -105,6 +118,8 @@ class ResourceManager:
         for request, _event in self._pending:
             if request.app_id == app.app_id:
                 request.cancel()
+        if self.bus.wants(ApplicationUnregistered):
+            self.bus.emit(ApplicationUnregistered(app_id=app.app_id))
 
     # -- allocation --------------------------------------------------------------
 
@@ -132,6 +147,15 @@ class ResourceManager:
             strict=strict,
         )
         event = self.env.event()
+        if self.bus.wants(ContainerRequested):
+            self.bus.emit(ContainerRequested(
+                app_id=app.app_id,
+                request_id=request.request_id,
+                vcores=resource.vcores,
+                memory_mb=resource.memory_mb,
+                preferred_node=preferred_node,
+                strict=strict,
+            ))
         self._pending.append((request, event))
         self._serve_pending()
         return event
@@ -142,6 +166,12 @@ class ResourceManager:
         if held is not None and container.container_id in self._live_containers:
             self._containers_held[container.app_id] = max(0, held - 1)
             self._live_containers.discard(container.container_id)
+            if self.bus.wants(ContainerReleased):
+                self.bus.emit(ContainerReleased(
+                    app_id=container.app_id,
+                    container_id=container.container_id,
+                    node_id=container.node_id,
+                ))
         manager = self.node_managers.get(container.node_id)
         if manager is not None:
             manager.release(container)
@@ -208,6 +238,13 @@ class ResourceManager:
             self._live_containers.add(container.container_id)
             if self._host is not None:
                 self._host.compute(ALLOCATION_WORK, threads=1, label="rm-alloc")
+            if self.bus.wants(ContainerAllocated):
+                self.bus.emit(ContainerAllocated(
+                    app_id=request.app_id,
+                    request_id=request.request_id,
+                    container_id=container.container_id,
+                    node_id=container.node_id,
+                ))
             event.succeed(container)
         self._pending = unserved
 
@@ -221,7 +258,12 @@ class ResourceManager:
         heartbeat = self._heartbeat_flows.pop(node_id, None)
         if heartbeat is not None:
             heartbeat.cancel()
-        return manager.crash()
+        casualties = manager.crash()
+        if self.bus.wants(NodeCrashed):
+            self.bus.emit(NodeCrashed(
+                node_id=node_id, containers_lost=len(casualties)
+            ))
+        return casualties
 
     # -- introspection ---------------------------------------------------------------
 

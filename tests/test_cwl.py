@@ -4,7 +4,7 @@ import json
 
 import pytest
 
-from repro.cluster import Cluster, ClusterSpec, M3_LARGE
+from repro.cluster import Cluster, ClusterSpec
 from repro.core import HiWay
 from repro.errors import LanguageError
 from repro.langs import CwlSource, detect_language, parse_cwl, parse_workflow

@@ -1,7 +1,5 @@
 """Reproducibility guarantees: identical seeds give identical runs."""
 
-import pytest
-
 from repro.cluster import Cluster, ClusterSpec, M3_LARGE
 from repro.core import HiWay, HiWayConfig
 from repro.hdfs import HdfsClient

@@ -67,6 +67,26 @@ def test_cluster_report_covers_roles_and_kinds():
     assert report["worker_cpu"]["mean_utilization"] > 0
 
 
+def test_finish_closes_series_at_run_end():
+    env = Environment()
+    net = FlowNetwork(env)
+    net.add_resource("link", 100.0)
+    recorder = MetricRecorder(net, keep_series=True)
+    flow = net.start_flow(size=None, resources=["link"], cap=40.0)
+    env.run(until=10.0)
+    flow.cancel()
+    env.run(until=15.0)
+    recorder.finish()
+    series = recorder.usages["link"].series
+    # The rate was 0 from t=10 on and never changed again; without the
+    # closing sample the series would end before the run does.
+    assert series[-1] == (15.0, 0.0)
+    # finish() is idempotent: no duplicate closing point.
+    recorder.finish()
+    assert series[-1] == (15.0, 0.0)
+    assert series[-2][0] != 15.0
+
+
 def test_peak_tracks_maximum():
     env = Environment()
     net = FlowNetwork(env)

@@ -3,6 +3,8 @@
 from repro.cluster import Cluster, ClusterSpec, M3_LARGE
 from repro.core import HiWay, render_timeline
 from repro.core.provenance import TraceFileStore
+from repro.core.provenance.events import TaskEvent
+from repro.core.timeline import TimelineBuilder
 from repro.sim import Environment
 from repro.workflow import StaticTaskSource, TaskSpec, WorkflowGraph
 
@@ -46,3 +48,54 @@ def test_timeline_marks_failures():
     text = render_timeline(hiway.provenance.store, workflow_id=result.workflow_id)
     if result.task_failures:
         assert "x" in text
+
+
+def _task_event(task_id, signature, node_id, end, makespan, success):
+    return TaskEvent(
+        workflow_id="workflow-000001", task_id=task_id, signature=signature,
+        tool=signature, command="cmd", node_id=node_id, timestamp=end,
+        makespan_seconds=makespan, success=success,
+    )
+
+
+def test_skipped_failures_do_not_widen_labels_or_span():
+    store = TraceFileStore()
+    store.append(_task_event("ok", "sort", "worker-0", 10.0, 10.0, True))
+    store.append(_task_event(
+        "bad", "very-long-signature-name", "worker-extremely-long-id",
+        400.0, 1.0, False,
+    ))
+    text = render_timeline(store, include_failures=False)
+    lines = text.splitlines()
+    assert len(lines) == 2  # header + the surviving row only
+    # Labels align to the *rendered* rows, not the skipped failure...
+    assert lines[1].startswith("sort@worker-0 |")
+    # ...and the chart span covers only rendered rows (10s, not 400s).
+    assert "1 task attempt(s), 10.0s span" in lines[0]
+
+
+def test_all_rows_skipped_renders_placeholder():
+    store = TraceFileStore()
+    store.append(_task_event("bad", "sort", "worker-0", 5.0, 5.0, False))
+    assert "no task events" in render_timeline(store, include_failures=False)
+
+
+def test_timeline_builder_matches_store_rendering():
+    env = Environment()
+    cluster = Cluster(env, ClusterSpec(worker_spec=M3_LARGE, worker_count=2))
+    hiway = HiWay(cluster)
+    builder = TimelineBuilder(hiway.bus)
+    hiway.install_everywhere("sort", "grep")
+    hiway.stage_inputs({"/in/a": 32.0})
+    graph = WorkflowGraph("tlb")
+    graph.add_task(TaskSpec(tool="sort", inputs=["/in/a"], outputs=["/m"],
+                            task_id="s"))
+    graph.add_task(TaskSpec(tool="grep", inputs=["/m"], outputs=["/o"],
+                            task_id="g"))
+    result = hiway.run(StaticTaskSource(graph))
+    assert result.success
+    from_bus = builder.render()
+    from_store = render_timeline(hiway.provenance.store,
+                                 workflow_id=result.workflow_id)
+    assert from_bus == from_store
+    builder.detach()
