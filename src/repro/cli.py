@@ -14,6 +14,10 @@ Usage::
     python -m repro run run.trace --workers 2      # re-execute a trace
     python -m repro trace workflow.cf --workers 4 \\
         --input /in/data.csv=256 --out run.json    # Chrome about:tracing
+    python -m repro report workflow.cf --workers 4 \\
+        --input /in/data.csv=256                   # critical path + metrics
+    python -m repro explain workflow.cf join \\
+        --input /in/data.csv=256                   # why task 'join' landed there
 """
 
 from __future__ import annotations
@@ -106,11 +110,42 @@ def build_parser() -> argparse.ArgumentParser:
                        help="Chrome trace JSON output path (default: trace.json)")
     trace.add_argument("--no-hdfs-events", action="store_true",
                        help="skip per-file HDFS read/write spans")
+    report = subparsers.add_parser(
+        "report",
+        help="execute a workflow and print the critical-path / bottleneck "
+        "report (per-task slack, wait vs stage-in vs compute, locality)",
+    )
+    _add_workflow_arguments(report)
+    report.add_argument("--metrics-out", metavar="PATH",
+                        help="also write the metrics registry as JSON here")
+    report.add_argument("--prometheus-out", metavar="PATH",
+                        help="also write the metrics registry in Prometheus "
+                        "text exposition format here")
+    report.add_argument("--max-tasks", type=int, default=20,
+                        help="rows in the per-task slack table (default: 20)")
+    explain = subparsers.add_parser(
+        "explain",
+        help="execute a workflow with the decision audit on and explain "
+        "why one task was placed where it was",
+    )
+    _add_workflow_arguments(explain)
+    explain.add_argument("task_id", help="task to explain (e.g. 'join')")
     return parser
 
 
-def _execute_workflow(args, tracing: bool = False, trace_hdfs_events: bool = True):
-    """Provision, stage, run. Returns ``(hiway, result)`` or an int exit code."""
+def _execute_workflow(
+    args,
+    tracing: bool = False,
+    trace_hdfs_events: bool = True,
+    decision_audit: bool = False,
+    before_run=None,
+):
+    """Provision, stage, run. Returns ``(hiway, result)`` or an int exit code.
+
+    ``before_run`` (when given) receives the :class:`HiWay` installation
+    after setup but before submission — the hook used to attach extra
+    bus subscribers such as the critical-path analyzer.
+    """
     with open(args.workflow, "r", encoding="utf-8") as handle:
         text = handle.read()
     kwargs = {}
@@ -140,6 +175,7 @@ def _execute_workflow(args, tracing: bool = False, trace_hdfs_events: bool = Tru
             scheduler=args.scheduler,
             tracing=tracing,
             trace_hdfs_events=trace_hdfs_events,
+            decision_audit=decision_audit,
         ),
     )
     tools = args.tools or hiway.tools.names()
@@ -147,6 +183,8 @@ def _execute_workflow(args, tracing: bool = False, trace_hdfs_events: bool = Tru
     if args.inputs:
         hiway.stage_inputs(dict(args.inputs))
 
+    if before_run is not None:
+        before_run(hiway)
     result = hiway.run(source, scheduler=args.scheduler)
     if not args.quiet:
         status = "SUCCEEDED" if result.success else "FAILED"
@@ -202,6 +240,55 @@ def trace_command(args) -> int:
     return 0 if result.success else 1
 
 
+def report_command(args) -> int:
+    """Execute the ``report`` subcommand; returns the exit code."""
+    from repro.obs.analysis import CriticalPathAnalyzer, render_report
+
+    analyzers: dict[str, CriticalPathAnalyzer] = {}
+
+    def attach_analyzer(hiway) -> None:
+        analyzers["cp"] = CriticalPathAnalyzer(hiway.bus)
+
+    outcome = _execute_workflow(args, before_run=attach_analyzer)
+    if isinstance(outcome, int):
+        return outcome
+    hiway, result = outcome
+    analysis = analyzers["cp"].analysis(result.workflow_id)
+    print()
+    print(render_report(analysis, registry=hiway.registry,
+                        max_tasks=args.max_tasks))
+    if args.metrics_out:
+        with open(args.metrics_out, "w", encoding="utf-8") as handle:
+            handle.write(hiway.registry.to_json() + "\n")
+        if not args.quiet:
+            print(f"\nmetrics (JSON) saved to {args.metrics_out}")
+    if args.prometheus_out:
+        with open(args.prometheus_out, "w", encoding="utf-8") as handle:
+            handle.write(hiway.registry.to_prometheus())
+        if not args.quiet:
+            print(f"metrics (Prometheus) saved to {args.prometheus_out}")
+    return 0 if result.success else 1
+
+
+def explain_command(args) -> int:
+    """Execute the ``explain`` subcommand; returns the exit code."""
+    outcome = _execute_workflow(args, decision_audit=True)
+    if isinstance(outcome, int):
+        return outcome
+    hiway, result = outcome
+    print()
+    try:
+        print(hiway.auditor.explain(args.task_id))
+    except KeyError:
+        print(f"error: no scheduling decisions recorded for task "
+              f"{args.task_id!r}", file=sys.stderr)
+        known = hiway.auditor.task_ids()
+        if known:
+            print("known task ids: " + ", ".join(known), file=sys.stderr)
+        return 1
+    return 0 if result.success else 1
+
+
 def main(argv: Optional[list[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
@@ -209,6 +296,10 @@ def main(argv: Optional[list[str]] = None) -> int:
         return run_command(args)
     if args.command == "trace":
         return trace_command(args)
+    if args.command == "report":
+        return report_command(args)
+    if args.command == "explain":
+        return explain_command(args)
     raise AssertionError("unreachable")  # pragma: no cover
 
 

@@ -110,7 +110,10 @@ class HiWayApplicationMaster:
         self.name = name or getattr(source, "name", "workflow")
         self.scheduler.bind(
             SchedulerContext(
-                worker_ids=cluster.worker_ids, hdfs=hdfs, provenance=provenance
+                worker_ids=cluster.worker_ids,
+                hdfs=hdfs,
+                provenance=provenance,
+                bus=self.bus,
             )
         )
         # AM host: the last master node, modelling the dedicated-AM
@@ -175,6 +178,9 @@ class HiWayApplicationMaster:
         started = self.env.now
         self._app = self.rm.register_application(self.name)
         self._workflow_id = self.provenance.allocate_workflow_id()
+        if self.scheduler.context is not None:
+            # Stamp decisions with the id now that provenance minted it.
+            self.scheduler.context.workflow_id = self._workflow_id
         self.bus.emit(WorkflowStarted(
             workflow_id=self._workflow_id, name=self.name
         ))

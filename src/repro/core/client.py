@@ -18,6 +18,7 @@ from repro.core.provenance.manager import ProvenanceManager
 from repro.core.provenance.stores import ProvenanceStore
 from repro.core.schedulers import WorkflowScheduler
 from repro.hdfs.filesystem import HdfsClient
+from repro.obs.decisions import DecisionAuditor
 from repro.obs.tracer import Tracer
 from repro.sim.engine import Process
 from repro.tools.generic import default_registry
@@ -57,6 +58,10 @@ class HiWay:
         #: The installation's observability bus (owned by the cluster).
         self.bus = cluster.bus
         self.cluster.metrics.attach(self.bus)
+        #: The installation's metric aggregations (owned by the
+        #: cluster's recorder; export with ``registry.to_json()`` /
+        #: ``registry.to_prometheus()``).
+        self.registry = self.cluster.metrics.registry
         #: Present when ``config.tracing`` is on; export with
         #: :meth:`Tracer.save` / :meth:`Tracer.to_chrome_trace`.
         self.tracer: Optional[Tracer] = None
@@ -64,6 +69,11 @@ class HiWay:
             self.tracer = Tracer(
                 self.bus, include_hdfs=self.config.trace_hdfs_events
             )
+        #: Present when ``config.decision_audit`` is on; its presence is
+        #: what makes the schedulers publish their candidate scores.
+        self.auditor: Optional[DecisionAuditor] = None
+        if self.config.decision_audit:
+            self.auditor = DecisionAuditor(self.bus)
 
     def submit(
         self,

@@ -47,6 +47,12 @@ class HiWayConfig:
     #: writes — the chattiest topic; disable for long runs where only
     #: container/task lifecycle matters.
     trace_hdfs_events: bool = True
+    #: Attach a :class:`~repro.obs.decisions.DecisionAuditor` to the
+    #: installation's bus, making every scheduler publish its placements
+    #: with the full scored candidate set. Off by default: without a
+    #: ``SchedulingDecision`` subscriber the policies skip all
+    #: audit-only scoring work.
+    decision_audit: bool = False
 
     def __post_init__(self) -> None:
         if self.container_vcores < 1:

@@ -43,8 +43,10 @@ class AdaptiveQueueScheduler(QueueScheduler):
         provenance = context.provenance
         workers = context.worker_ids
 
+        audited = self._decisions_wanted()
         best_index = eligible[0]
         best_key: Optional[tuple[float, float]] = None
+        candidates: list[tuple[str, float]] = []
         for index in eligible:
             task = self._queue[index].task
             here = provenance.runtime_estimate(task.signature, node_id)
@@ -59,8 +61,19 @@ class AdaptiveQueueScheduler(QueueScheduler):
             if context.hdfs is not None:
                 locality = context.hdfs.local_fraction(task.inputs, node_id)
             key = (suitability, -locality)
+            if audited:
+                candidates.append((task.task_id, suitability))
             # Strictly-smaller keeps FIFO order among exact ties.
             if best_key is None or key < best_key:
                 best_key = key
                 best_index = index
+        if audited:
+            self._emit_decision(
+                task_id=self._queue[best_index].task.task_id,
+                node_id=node_id,
+                kind="queue-bind",
+                candidate_kind="task",
+                candidates=candidates,
+                score_name="relative_suitability",
+            )
         return self._take(best_index)

@@ -20,22 +20,33 @@ from dataclasses import dataclass, field
 from typing import Optional, TYPE_CHECKING
 
 from repro.errors import SchedulingError
+from repro.obs.events import SchedulingDecision
 from repro.workflow.model import TaskSpec
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.provenance.manager import ProvenanceManager
     from repro.hdfs.filesystem import HdfsClient
+    from repro.obs.bus import EventBus
 
 __all__ = ["SchedulerContext", "WorkflowScheduler", "QueueScheduler"]
 
 
 @dataclass
 class SchedulerContext:
-    """Everything a scheduling policy may consult."""
+    """Everything a scheduling policy may consult.
+
+    ``bus`` and ``workflow_id`` exist for the decision audit: when a
+    :class:`~repro.obs.decisions.DecisionAuditor` (or any other
+    subscriber of :class:`~repro.obs.events.SchedulingDecision`) is
+    attached, policies publish every placement with its scored
+    candidate set. The AM fills ``workflow_id`` once it is allocated.
+    """
 
     worker_ids: list[str]
     hdfs: Optional["HdfsClient"] = None
     provenance: Optional["ProvenanceManager"] = None
+    bus: Optional["EventBus"] = None
+    workflow_id: str = ""
 
 
 @dataclass
@@ -67,6 +78,49 @@ class WorkflowScheduler:
         if self.context is None:
             raise SchedulingError(f"{self.name}: scheduler not bound to a context")
         return self.context
+
+    # -- decision audit ---------------------------------------------------------
+
+    def _decisions_wanted(self) -> bool:
+        """Whether anyone subscribed to scheduling decisions.
+
+        Policies check this before doing audit-only work (scoring the
+        rejected candidates), keeping the un-audited hot path unchanged.
+        """
+        context = self.context
+        return (
+            context is not None
+            and context.bus is not None
+            and context.bus.wants(SchedulingDecision)
+        )
+
+    def _emit_decision(
+        self,
+        task_id: str,
+        node_id: str,
+        kind: str,
+        candidate_kind: str,
+        candidates: list[tuple[str, float]],
+        score_name: str,
+        better: str = "min",
+        reason: str = "",
+    ) -> None:
+        """Publish one placement with its scored candidate set."""
+        context = self.context
+        if context is None or context.bus is None:
+            return
+        context.bus.emit(SchedulingDecision(
+            workflow_id=context.workflow_id,
+            policy=self.name,
+            kind=kind,
+            task_id=task_id,
+            node_id=node_id,
+            candidate_kind=candidate_kind,
+            candidates=tuple(candidates),
+            score_name=score_name,
+            better=better,
+            reason=reason,
+        ))
 
     # -- static planning -------------------------------------------------------
 

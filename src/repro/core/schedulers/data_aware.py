@@ -52,20 +52,49 @@ class DataAwareScheduler(QueueScheduler):
         eligible = self._eligible_indices(node_id)
         if not eligible:
             return None
+        audited = self._decisions_wanted()
         # Endgame guard: once fewer tasks wait than workers could serve,
         # withholding a task in the hope of a better-placed container
         # only idles the cluster and serialises the stragglers — take
         # the oldest task and eat the transfer instead.
         if len(eligible) <= max(1, len(context.worker_ids) // 2):
+            if audited:
+                self._emit_decision(
+                    task_id=self._queue[eligible[0]].task.task_id,
+                    node_id=node_id,
+                    kind="queue-bind",
+                    candidate_kind="task",
+                    candidates=[
+                        (entry.task.task_id,
+                         self._fraction(entry.task, node_id, context.hdfs))
+                        for entry in (self._queue[i] for i in eligible)
+                    ],
+                    score_name="locality_fraction",
+                    better="max",
+                    reason="endgame-fifo",
+                )
             return self._take(eligible[0])
         best_index = eligible[0]
         best_fraction = -1.0
+        candidates: list[tuple[str, float]] = []
         for index in eligible:
             task = self._queue[index].task
             fraction = self._fraction(task, node_id, context.hdfs)
+            if audited:
+                candidates.append((task.task_id, fraction))
             # Strictly-greater keeps FIFO order among ties.
             if fraction > best_fraction:
                 best_fraction = fraction
                 best_index = index
+        if audited:
+            self._emit_decision(
+                task_id=self._queue[best_index].task.task_id,
+                node_id=node_id,
+                kind="queue-bind",
+                candidate_kind="task",
+                candidates=candidates,
+                score_name="locality_fraction",
+                better="max",
+            )
         self._fraction_cache.pop((self._queue[best_index].task.task_id, node_id), None)
         return self._take(best_index)

@@ -24,4 +24,16 @@ class FcfsScheduler(QueueScheduler):
         eligible = self._eligible_indices(node_id)
         if not eligible:
             return None
+        if self._decisions_wanted():
+            self._emit_decision(
+                task_id=self._queue[eligible[0]].task.task_id,
+                node_id=node_id,
+                kind="queue-bind",
+                candidate_kind="task",
+                candidates=[
+                    (self._queue[index].task.task_id, float(index))
+                    for index in eligible
+                ],
+                score_name="queue_position",
+            )
         return self._take(eligible[0])

@@ -63,7 +63,16 @@ class HeftScheduler(StaticScheduler):
     def _build_assignment(self, tasks: list[TaskSpec]) -> dict[str, str]:
         context = self._require_context()
         if context.provenance is None:
-            raise SchedulingError("HEFT needs a provenance manager for estimates")
+            workflow = context.workflow_id or "<unsubmitted>"
+            task_ids = [task.task_id for task in tasks]
+            shown = ", ".join(task_ids[:5]) + (", ..." if len(task_ids) > 5 else "")
+            raise SchedulingError(
+                f"heft: cannot plan workflow {workflow!r} "
+                f"({len(tasks)} tasks: {shown}): no provenance manager in the "
+                "scheduler context — HEFT derives runtime estimates from "
+                "provenance; pass one when binding, or use a queue policy "
+                "(fcfs/data-aware) which needs none"
+            )
         workers = list(context.worker_ids)
         if self._seed is not None:
             import random
@@ -112,15 +121,19 @@ class HeftScheduler(StaticScheduler):
         load = {node: 0 for node in workers}
         finish: dict[str, float] = {}
         assignment: dict[str, str] = {}
+        audited = self._decisions_wanted()
         for task in order:
             ready = max(
                 (finish[parent] for parent in parents[task.task_id]), default=0.0
             )
             best_node = None
             best_key = None
+            candidates: list[tuple[str, float]] = []
             for index, node in enumerate(workers):
                 estimate = self._estimate(provenance, task.signature, node, workers)
                 eft = max(avail[node], ready) + estimate
+                if audited:
+                    candidates.append((node, eft))
                 # Ties (ubiquitous while estimates are zero) spread by
                 # current load, then node order, keeping first-run
                 # schedules balanced rather than piling onto one node.
@@ -128,6 +141,10 @@ class HeftScheduler(StaticScheduler):
                 if best_key is None or key < best_key:
                     best_key = key
                     best_node = node
+            if audited:
+                self._plan_scores[task.task_id] = (
+                    sorted(candidates), "estimated_eft", "min",
+                )
             assignment[task.task_id] = best_node
             finish[task.task_id] = best_key[0]
             avail[best_node] = best_key[0]

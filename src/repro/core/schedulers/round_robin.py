@@ -20,7 +20,19 @@ class RoundRobinScheduler(StaticScheduler):
 
     def _build_assignment(self, tasks: list[TaskSpec]) -> dict[str, str]:
         workers = self._require_context().worker_ids
-        return {
-            task.task_id: workers[index % len(workers)]
-            for index, task in enumerate(tasks)
-        }
+        audited = self._decisions_wanted()
+        assignment: dict[str, str] = {}
+        for index, task in enumerate(tasks):
+            assignment[task.task_id] = workers[index % len(workers)]
+            if audited:
+                # Each node scored by how far it sits from the rotation
+                # pointer; the pointer's node (offset 0) wins.
+                self._plan_scores[task.task_id] = (
+                    [
+                        (node, float((position - index) % len(workers)))
+                        for position, node in enumerate(workers)
+                    ],
+                    "rotation_offset",
+                    "min",
+                )
+        return assignment

@@ -31,6 +31,9 @@ class StaticScheduler(WorkflowScheduler):
         #: node -> FIFO of ready tasks placed there.
         self._ready: dict[str, deque[TaskSpec]] = {}
         self._planned = False
+        #: task_id -> (candidates, score_name, better); filled by
+        #: ``_build_assignment`` when the decision audit is active.
+        self._plan_scores: dict[str, tuple[list[tuple[str, float]], str, str]] = {}
 
     # -- planning ---------------------------------------------------------------
 
@@ -39,12 +42,29 @@ class StaticScheduler(WorkflowScheduler):
         context = self._require_context()
         if not context.worker_ids:
             raise SchedulingError(f"{self.name}: no worker nodes to plan onto")
+        self._plan_scores = {}
         self.assignment = self._build_assignment(tasks)
         missing = [t.task_id for t in tasks if t.task_id not in self.assignment]
         if missing:
             raise SchedulingError(f"{self.name}: unplaced tasks: {missing}")
         self._ready = {node: deque() for node in context.worker_ids}
         self._planned = True
+        if self._decisions_wanted():
+            for task in tasks:
+                scored = self._plan_scores.get(task.task_id)
+                if scored is None:
+                    continue
+                candidates, score_name, better = scored
+                self._emit_decision(
+                    task_id=task.task_id,
+                    node_id=self.assignment[task.task_id],
+                    kind="static-plan",
+                    candidate_kind="node",
+                    candidates=candidates,
+                    score_name=score_name,
+                    better=better,
+                )
+        self._plan_scores = {}
 
     def _build_assignment(self, tasks: list[TaskSpec]) -> dict[str, str]:
         raise NotImplementedError  # pragma: no cover - interface
@@ -71,6 +91,19 @@ class StaticScheduler(WorkflowScheduler):
             if not alternatives:
                 raise SchedulingError(
                     f"{self.name}: no nodes left for {task.task_id!r}"
+                )
+            if self._decisions_wanted():
+                self._emit_decision(
+                    task_id=task.task_id,
+                    node_id=alternatives[0],
+                    kind="retry-fallback",
+                    candidate_kind="node",
+                    candidates=[
+                        (alt, float(index))
+                        for index, alt in enumerate(alternatives)
+                    ],
+                    score_name="fallback_order",
+                    reason="planned-node-excluded",
                 )
             node = alternatives[0]
             self.assignment[task.task_id] = node

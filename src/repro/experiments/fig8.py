@@ -58,7 +58,7 @@ def _cluster(config: Fig8Config, nodes: int) -> ClusterSpec:
     )
 
 
-def _run_hiway(config: Fig8Config, nodes: int, seed: int) -> float:
+def _run_hiway(config: Fig8Config, nodes: int, seed: int) -> tuple[float, float]:
     env = Environment()
     cluster = Cluster(env, _cluster(config, nodes))
     hdfs = HdfsClient(cluster, seed=seed)
@@ -81,7 +81,9 @@ def _run_hiway(config: Fig8Config, nodes: int, seed: int) -> float:
     )
     result = hiway.run(source, scheduler="data-aware")
     assert result.success, result.diagnostics
-    return result.runtime_seconds
+    # Staging writes the inputs but reads nothing, so the registry's
+    # read-locality is exactly the run's stage-in hit rate.
+    return result.runtime_seconds, hiway.registry.read_locality()
 
 
 def _run_cloudman(config: Fig8Config, nodes: int, seed: int) -> float:
@@ -112,6 +114,7 @@ def run_fig8(config: Optional[Fig8Config] = None, quick: bool = False) -> Experi
             "hiway_min", "hiway_std",
             "cloudman_min", "cloudman_std",
             "cloudman/hiway",
+            "hiway_locality",
         ],
         notes=(
             f"c3.2xlarge, one task per node, 6 x {config.mb_per_replicate:.0f} MB "
@@ -119,9 +122,11 @@ def run_fig8(config: Optional[Fig8Config] = None, quick: bool = False) -> Experi
         ),
     )
     for nodes in config.node_counts:
-        hiway_runs = [
-            minutes(_run_hiway(config, nodes, seed)) for seed in range(config.runs)
+        hiway_outcomes = [
+            _run_hiway(config, nodes, seed) for seed in range(config.runs)
         ]
+        hiway_runs = [minutes(runtime) for runtime, _ in hiway_outcomes]
+        hiway_localities = [locality for _, locality in hiway_outcomes]
         cloudman_runs = [
             minutes(_run_cloudman(config, nodes, seed)) for seed in range(config.runs)
         ]
@@ -130,5 +135,6 @@ def run_fig8(config: Optional[Fig8Config] = None, quick: bool = False) -> Experi
             mean(hiway_runs), std(hiway_runs),
             mean(cloudman_runs), std(cloudman_runs),
             mean(cloudman_runs) / mean(hiway_runs),
+            mean(hiway_localities),
         )
     return table

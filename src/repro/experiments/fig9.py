@@ -70,11 +70,25 @@ def _fresh_installation(config: Fig9Config, seed: int, store) -> HiWay:
     return hiway
 
 
-def _one_experiment(config: Fig9Config, seed: int) -> tuple[float, list[float]]:
+def _read_mb_split(registry) -> tuple[float, float]:
+    """(local, non-local) MB staged in so far, per the metrics registry."""
+    local = registry.value("hiway_hdfs_read_mb_total", locality="local")
+    nonlocal_mb = (
+        registry.value("hiway_hdfs_read_mb_total", locality="remote")
+        + registry.value("hiway_hdfs_read_mb_total", locality="external")
+    )
+    return local, nonlocal_mb
+
+
+def _one_experiment(
+    config: Fig9Config, seed: int
+) -> tuple[float, list[float], list[float]]:
     """One experiment: an FCFS baseline plus N consecutive HEFT runs.
 
     All executions share a cluster/installation (stress persists across
-    workflow runs on real hardware too); provenance starts empty.
+    workflow runs on real hardware too); provenance starts empty. The
+    registry is cumulative across the shared installation, so per-run
+    locality comes from before/after counter deltas.
     """
     store = TraceFileStore()
     hiway = _fresh_installation(config, seed, store)
@@ -85,12 +99,20 @@ def _one_experiment(config: Fig9Config, seed: int) -> tuple[float, list[float]]:
     # The FCFS baseline must not seed the HEFT estimates.
     store.clear()
     heft_runtimes = []
+    heft_localities = []
     for run_index in range(config.consecutive_heft_runs):
+        local_before, nonlocal_before = _read_mb_split(hiway.registry)
         scheduler = HeftScheduler(seed=seed * 1000 + run_index)
         result = hiway.run(DaxSource(dax), scheduler=scheduler)
         assert result.success, result.diagnostics
         heft_runtimes.append(result.runtime_seconds)
-    return fcfs_runtime, heft_runtimes
+        local_after, nonlocal_after = _read_mb_split(hiway.registry)
+        delta_local = local_after - local_before
+        delta_total = delta_local + nonlocal_after - nonlocal_before
+        heft_localities.append(
+            delta_local / delta_total if delta_total > 0 else 1.0
+        )
+    return fcfs_runtime, heft_runtimes, heft_localities
 
 
 def run_fig9(config: Optional[Fig9Config] = None, quick: bool = False) -> ExperimentTable:
@@ -105,15 +127,21 @@ def run_fig9(config: Optional[Fig9Config] = None, quick: bool = False) -> Experi
     heft_by_index: list[list[float]] = [
         [] for _ in range(config.consecutive_heft_runs)
     ]
+    locality_by_index: list[list[float]] = [
+        [] for _ in range(config.consecutive_heft_runs)
+    ]
     for seed in range(config.experiment_repeats):
-        fcfs_runtime, heft_runtimes = _one_experiment(config, seed)
+        fcfs_runtime, heft_runtimes, heft_localities = _one_experiment(config, seed)
         fcfs_runtimes.append(fcfs_runtime)
         for index, runtime in enumerate(heft_runtimes):
             heft_by_index[index].append(runtime)
+        for index, locality in enumerate(heft_localities):
+            locality_by_index[index].append(locality)
     table = ExperimentTable(
         experiment_id="fig9",
         title="Montage on a stressed cluster: HEFT vs FCFS over provenance",
-        columns=["prior_runs", "heft_median_s", "heft_std_s", "fcfs_median_s"],
+        columns=["prior_runs", "heft_median_s", "heft_std_s", "fcfs_median_s",
+                 "heft_locality"],
         notes=(
             f"{config.worker_count} stressed m3.large workers, Montage "
             f"{config.degree} deg, {config.experiment_repeats} repeat(s)"
@@ -121,5 +149,8 @@ def run_fig9(config: Optional[Fig9Config] = None, quick: bool = False) -> Experi
     )
     fcfs_median = median(fcfs_runtimes)
     for index, runtimes in enumerate(heft_by_index):
-        table.add_row(index, median(runtimes), std(runtimes), fcfs_median)
+        table.add_row(
+            index, median(runtimes), std(runtimes), fcfs_median,
+            median(locality_by_index[index]),
+        )
     return table

@@ -89,6 +89,7 @@ class HdfsClient:
                 local_mb=report.local_mb,
                 remote_mb=report.remote_mb,
                 seconds=report.seconds,
+                external=self.is_external(report.path),
             ))
         return report
 

@@ -9,7 +9,9 @@ the same stream. See the README "Observability" section for the topic
 map and CLI usage.
 """
 
+from repro.obs.analysis import CriticalPathAnalyzer, WorkflowAnalysis, render_report
 from repro.obs.bus import EventBus, Subscription
+from repro.obs.decisions import DecisionAuditor
 from repro.obs.events import (
     ApplicationRegistered,
     ApplicationUnregistered,
@@ -25,6 +27,7 @@ from repro.obs.events import (
     HdfsWrite,
     NodeCrashed,
     ObsEvent,
+    SchedulingDecision,
     TaskAttemptFinished,
     TaskDispatched,
     TaskRetried,
@@ -32,14 +35,24 @@ from repro.obs.events import (
     WorkflowFinished,
     WorkflowStarted,
 )
+from repro.obs.registry import Counter, Gauge, Histogram, MetricsRegistry
 from repro.obs.tracer import Tracer
 
 __all__ = [
     "EventBus",
     "Subscription",
     "Tracer",
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "DecisionAuditor",
+    "CriticalPathAnalyzer",
+    "WorkflowAnalysis",
+    "render_report",
     "ObsEvent",
     "TOPICS",
+    "SchedulingDecision",
     "WorkflowStarted",
     "WorkflowFinished",
     "TaskDispatched",

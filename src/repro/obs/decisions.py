@@ -1,0 +1,140 @@
+"""Scheduler decision audit: record *why* each task landed where it did.
+
+Every scheduling policy publishes a
+:class:`~repro.obs.events.SchedulingDecision` for each placement it
+makes — the chosen pairing plus the scored candidate set it weighed.
+The :class:`DecisionAuditor` subscribes to that stream and can explain
+any placement after the fact, which is what provenance-centric related
+work asks of execution traces: enough infrastructure context to justify
+and reproduce decisions, not just outcomes.
+
+The audit log serialisation (:meth:`DecisionAuditor.log_lines`) is
+deterministic: two runs with identical seeds produce byte-identical
+logs, guarded by ``tests/test_decisions.py``.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Optional
+
+from repro.obs.bus import EventBus, Subscription
+from repro.obs.events import SchedulingDecision
+
+__all__ = ["DecisionAuditor"]
+
+
+def _fmt_score(score: float) -> str:
+    return f"{score:.6g}"
+
+
+class DecisionAuditor:
+    """Bus subscriber accumulating the scheduler decision audit log."""
+
+    def __init__(self, bus: Optional[EventBus] = None):
+        self.decisions: list[SchedulingDecision] = []
+        self._subscription: Optional[Subscription] = None
+        if bus is not None:
+            self.attach(bus)
+
+    def attach(self, bus: EventBus) -> None:
+        """Start recording ``bus``'s scheduling decisions (one bus max)."""
+        if self._subscription is not None:
+            raise RuntimeError("auditor already attached to a bus")
+        self._subscription = bus.subscribe(
+            SchedulingDecision, self.decisions.append
+        )
+
+    def detach(self) -> None:
+        """Stop recording (the accumulated log stays available)."""
+        if self._subscription is not None:
+            self._subscription.cancel()
+            self._subscription = None
+
+    # -- queries ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.decisions)
+
+    def task_ids(self) -> list[str]:
+        """Distinct task ids with at least one recorded decision."""
+        seen: dict[str, None] = {}
+        for decision in self.decisions:
+            seen.setdefault(decision.task_id)
+        return list(seen)
+
+    def decisions_for(self, task_id: str) -> list[SchedulingDecision]:
+        """All recorded decisions about ``task_id``, in event order."""
+        return [d for d in self.decisions if d.task_id == task_id]
+
+    # -- rendering ----------------------------------------------------------------
+
+    def explain(self, task_id: str) -> str:
+        """Human-readable account of every decision about ``task_id``.
+
+        Names the policy, the chosen node and the full scored candidate
+        set; raises ``KeyError`` when the task was never decided on.
+        """
+        decisions = self.decisions_for(task_id)
+        if not decisions:
+            raise KeyError(task_id)
+        lines: list[str] = []
+        for decision in decisions:
+            lines.append(
+                f"task {decision.task_id}: {decision.policy} [{decision.kind}]"
+                f" chose node {decision.node_id} at t={decision.t:.3f}s"
+                + (f" ({decision.reason})" if decision.reason else "")
+            )
+            if not decision.candidates:
+                continue
+            chosen_key = (
+                decision.task_id if decision.candidate_kind == "task"
+                else decision.node_id
+            )
+            lines.append(
+                f"  candidates ({decision.candidate_kind}s scored by "
+                f"{decision.score_name}, {decision.better} wins):"
+            )
+            for key, score in decision.candidates:
+                marker = "*" if key == chosen_key else " "
+                lines.append(f"   {marker} {key:<24} {_fmt_score(score)}")
+        return "\n".join(lines)
+
+    def log_lines(self) -> list[str]:
+        """The whole audit log, one deterministic line per decision."""
+        lines = []
+        for d in self.decisions:
+            candidates = ",".join(
+                f"{key}={_fmt_score(score)}" for key, score in d.candidates
+            )
+            lines.append(
+                f"seq={d.seq} t={d.t:.9f} policy={d.policy} kind={d.kind}"
+                f" task={d.task_id} node={d.node_id}"
+                f" score={d.score_name}/{d.better}"
+                f" candidates=[{candidates}]"
+                + (f" reason={d.reason}" if d.reason else "")
+            )
+        return lines
+
+    def to_json(self) -> str:
+        """The audit log as a JSON array (stable field order)."""
+        return json.dumps(
+            [
+                {
+                    "seq": d.seq,
+                    "t": d.t,
+                    "workflow_id": d.workflow_id,
+                    "policy": d.policy,
+                    "kind": d.kind,
+                    "task_id": d.task_id,
+                    "node_id": d.node_id,
+                    "candidate_kind": d.candidate_kind,
+                    "score_name": d.score_name,
+                    "better": d.better,
+                    "reason": d.reason,
+                    "candidates": [list(pair) for pair in d.candidates],
+                }
+                for d in self.decisions
+            ],
+            sort_keys=True,
+        )

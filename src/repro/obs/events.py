@@ -17,6 +17,7 @@ workflow   :class:`WorkflowStarted`, :class:`WorkflowFinished`
 task       :class:`TaskDispatched`, :class:`TaskRetried`,
            :class:`TaskAttemptFinished`
 file       :class:`FileStaged`
+scheduler  :class:`SchedulingDecision`
 yarn       application registration, container request/allocate/launch/
            finish/release, :class:`NodeCrashed`
 hdfs       :class:`BlocksPlaced`, :class:`HdfsRead`, :class:`HdfsWrite`
@@ -41,6 +42,7 @@ __all__ = [
     "TaskRetried",
     "TaskAttemptFinished",
     "FileStaged",
+    "SchedulingDecision",
     "ApplicationRegistered",
     "ApplicationUnregistered",
     "ContainerRequested",
@@ -56,7 +58,7 @@ __all__ = [
     "TOPICS",
 ]
 
-TOPICS = ("workflow", "task", "file", "yarn", "hdfs", "cluster")
+TOPICS = ("workflow", "task", "file", "scheduler", "yarn", "hdfs", "cluster")
 
 
 class ObsEvent:
@@ -149,6 +151,46 @@ class FileStaged(ObsEvent):
     report: Optional["FileTransferReport"] = None
 
 
+# -- scheduler topic (Sec. 3.4 placement decisions) ---------------------------
+
+
+@dataclass
+class SchedulingDecision(ObsEvent):
+    """One placement decision of a workflow scheduling policy.
+
+    Captures not just the outcome (``task_id`` ran on ``node_id``) but
+    the *alternatives* the policy weighed: ``candidates`` is the scored
+    candidate set as ``(key, score)`` pairs, where keys are task ids for
+    late-binding queue policies (which pick a task for a fixed node) and
+    node ids for static policies (which pick a node for a fixed task, at
+    plan time). ``score_name`` says what the scores mean — queue
+    position for FCFS, locality fraction for data-aware, relative
+    suitability for adaptive-queue, rotation offset for round-robin,
+    estimated finish time for HEFT — and ``better`` whether lower or
+    higher scores win. This is the record the
+    :class:`~repro.obs.decisions.DecisionAuditor` replays to explain any
+    placement after the fact.
+    """
+
+    topic: ClassVar[str] = "scheduler"
+    workflow_id: str = ""
+    policy: str = ""
+    #: Decision flavour: "queue-bind" (task chosen for an allocated
+    #: container), "static-plan" (node chosen at workflow onset) or
+    #: "retry-fallback" (static reassignment after a failed attempt).
+    kind: str = "queue-bind"
+    task_id: str = ""
+    node_id: str = ""
+    #: Whether ``candidates`` keys are task ids or node ids.
+    candidate_kind: str = "task"
+    #: Scored alternatives as ``(key, score)`` pairs, in evaluation order.
+    candidates: tuple = ()
+    score_name: str = ""
+    #: "min" if lower scores win, "max" if higher scores win.
+    better: str = "min"
+    reason: str = ""
+
+
 # -- yarn topic (RM / NM infrastructure) --------------------------------------
 
 
@@ -183,6 +225,9 @@ class ContainerAllocated(ObsEvent):
     request_id: int = -1
     container_id: str = ""
     node_id: str = ""
+    #: Allocation latency (request submission -> this allocation),
+    #: stamped by the RM so subscribers need no request-time bookkeeping.
+    wait_seconds: float = 0.0
 
 
 @dataclass
@@ -245,6 +290,8 @@ class HdfsRead(ObsEvent):
     local_mb: float = 0.0
     remote_mb: float = 0.0
     seconds: float = 0.0
+    #: True for S3-style external endpoints (no HDFS replicas involved).
+    external: bool = False
 
 
 @dataclass
@@ -258,6 +305,8 @@ class HdfsWrite(ObsEvent):
     local_mb: float = 0.0
     remote_mb: float = 0.0
     seconds: float = 0.0
+    #: True for S3-style external endpoints (no HDFS replicas involved).
+    external: bool = False
 
 
 # -- cluster topic ------------------------------------------------------------

@@ -226,13 +226,47 @@ class Tracer:
 
     # -- export -------------------------------------------------------------------
 
+    def _incomplete_spans(self) -> list[tuple]:
+        """Still-open container/workflow intervals as explicit spans.
+
+        A node crash kills containers without a release, and an aborted
+        workflow may never publish ``WorkflowFinished`` — without this,
+        those intervals would silently vanish from the export. They are
+        closed at the current simulated clock and marked
+        ``incomplete: true`` so the viewer shows them as truncated, not
+        finished. The recording state is left untouched, so exporting
+        twice (or after a late release) stays consistent.
+        """
+        now = self.bus.env.now if self.bus.env is not None else 0.0
+        spans: list[tuple] = []
+        for container_id in sorted(self._container_open):
+            start, node_id, app_id = self._container_open[container_id]
+            pid = self._pid("containers")
+            spans.append((
+                start, max(now - start, 0.0), container_id, "container",
+                pid, self._tid(pid, node_id),
+                {"app": app_id, "incomplete": True},
+            ))
+        for workflow_id in sorted(self._workflow_open):
+            start, name = self._workflow_open[workflow_id]
+            pid = self._pid("workflows")
+            spans.append((
+                start, max(now - start, 0.0), name or workflow_id,
+                "workflow", pid, self._tid(pid, workflow_id),
+                {"incomplete": True},
+            ))
+        return spans
+
     def chrome_trace_events(self) -> list[dict]:
         """The recorded data as Chrome ``trace_event`` dictionaries.
 
         Span and instant timestamps are microseconds of simulated time,
         emitted in non-decreasing ``ts`` order. Metadata events naming
         each process/thread come first (Chrome sorts them itself).
+        Intervals still open at export time (crashed containers,
+        aborted workflows) appear as spans marked ``incomplete``.
         """
+        incomplete = self._incomplete_spans()
         out: list[dict] = []
         for name, pid in sorted(self._pids.items(), key=lambda kv: kv[1]):
             out.append({"name": "process_name", "ph": "M", "pid": pid, "tid": 0,
@@ -241,7 +275,7 @@ class Tracer:
             out.append({"name": "thread_name", "ph": "M", "pid": pid, "tid": tid,
                         "args": {"name": name}})
         timed: list[dict] = []
-        for ts, dur, name, cat, pid, tid, args in self.spans:
+        for ts, dur, name, cat, pid, tid, args in self.spans + incomplete:
             record = {"name": name, "cat": cat, "ph": "X",
                       "ts": round(max(ts, 0.0) * _US, 3),
                       "dur": round(max(dur, 0.0) * _US, 3),
@@ -287,4 +321,7 @@ class Tracer:
                 summary.get("hdfs.read_local_mb", 0.0) / read_mb
             )
         summary["spans"] = len(self.spans)
+        incomplete = len(self._container_open) + len(self._workflow_open)
+        if incomplete:
+            summary["spans_incomplete"] = incomplete
         return summary

@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional, TYPE_CHECKING
 
+from repro.obs.registry import MetricsRegistry
 from repro.sim.flows import FlowNetwork, Resource
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -58,10 +59,10 @@ class MetricRecorder:
         self._last_rates: dict[str, float] = {}
         self.usages: dict[str, ResourceUsage] = {}
         self.started_at = network.env.now
-        #: Discrete event tallies derived from the observability bus
-        #: (populated once :meth:`attach` is called). Values are counts
-        #: for lifecycle events and MB totals for the ``*_mb`` keys.
-        self.counters: dict[str, float] = {}
+        #: Typed event aggregations (counters/gauges/histograms) fed by
+        #: the observability bus once :meth:`attach` is called. The
+        #: legacy :attr:`counters` view derives from it.
+        self.registry = MetricsRegistry()
         self._subscriptions: list = []
         self._attached_buses: list = []
         network.set_recorder(self)
@@ -114,50 +115,62 @@ class MetricRecorder:
     # -- observability bus ------------------------------------------------------
 
     def attach(self, bus: "EventBus") -> None:
-        """Derive discrete counters from the cluster's event bus.
+        """Feed the :attr:`registry` from the cluster's event bus.
 
-        Complements the exact flow integrals with the event tallies the
-        paper reports alongside them: containers launched, task attempts
-        (split by outcome), node crashes, and HDFS traffic split into
-        local and remote bytes. Also auto-finishes the recorder when a
-        workflow completes, so step series are closed without the caller
-        having to remember :meth:`finish`. Idempotent per bus.
+        Complements the exact flow integrals with the typed event
+        aggregations the paper reports alongside them (see
+        :meth:`MetricsRegistry.attach` for the full set). Also
+        auto-finishes the recorder when a workflow completes, so step
+        series are closed without the caller having to remember
+        :meth:`finish`. Idempotent per bus.
         """
         if any(existing is bus for existing in self._attached_buses):
             return
         self._attached_buses.append(bus)
         from repro.obs import events as obs_events
 
-        def count(name: str, amount: float = 1) -> None:
-            self.counters[name] = self.counters.get(name, 0) + amount
-
-        def on_container(event: obs_events.ContainerLaunched) -> None:
-            count("containers_launched")
-
-        def on_task(event: obs_events.TaskAttemptFinished) -> None:
-            count("task_attempts")
-            count("task_successes" if event.success else "task_failures")
-
-        def on_crash(event: obs_events.NodeCrashed) -> None:
-            count("node_crashes")
-            count("containers_lost", event.containers_lost)
-
-        def on_hdfs(event) -> None:
-            prefix = "hdfs_read" if isinstance(event, obs_events.HdfsRead) else "hdfs_write"
-            count(f"{prefix}_local_mb", event.local_mb)
-            count(f"{prefix}_remote_mb", event.remote_mb)
+        self.registry.attach(bus)
 
         def on_workflow_finished(event: obs_events.WorkflowFinished) -> None:
             self.finish()
 
-        self._subscriptions.extend([
-            bus.subscribe(obs_events.ContainerLaunched, on_container),
-            bus.subscribe(obs_events.TaskAttemptFinished, on_task),
-            bus.subscribe(obs_events.NodeCrashed, on_crash),
-            bus.subscribe(obs_events.HdfsRead, on_hdfs),
-            bus.subscribe(obs_events.HdfsWrite, on_hdfs),
-            bus.subscribe(obs_events.WorkflowFinished, on_workflow_finished),
-        ])
+        self._subscriptions.append(
+            bus.subscribe(obs_events.WorkflowFinished, on_workflow_finished)
+        )
+
+    @property
+    def counters(self) -> dict[str, float]:
+        """Legacy flat tallies, derived from the :attr:`registry`.
+
+        Kept for callers written against the pre-registry recorder
+        (e.g. the Figure 6 RPC estimate); new code should read the
+        registry directly.
+        """
+        value = self.registry.value
+        successes = value("hiway_task_attempts_total", outcome="success")
+        failures = value("hiway_task_attempts_total", outcome="failure")
+        return {
+            "containers_launched": value("hiway_containers_launched_total"),
+            "task_attempts": successes + failures,
+            "task_successes": successes,
+            "task_failures": failures,
+            "node_crashes": value("hiway_node_crashes_total"),
+            "containers_lost": value("hiway_containers_lost_total"),
+            "hdfs_read_local_mb": value(
+                "hiway_hdfs_read_mb_total", locality="local"
+            ),
+            "hdfs_read_remote_mb": (
+                value("hiway_hdfs_read_mb_total", locality="remote")
+                + value("hiway_hdfs_read_mb_total", locality="external")
+            ),
+            "hdfs_write_local_mb": value(
+                "hiway_hdfs_write_mb_total", locality="local"
+            ),
+            "hdfs_write_remote_mb": (
+                value("hiway_hdfs_write_mb_total", locality="remote")
+                + value("hiway_hdfs_write_mb_total", locality="external")
+            ),
+        }
 
     def detach(self) -> None:
         """Cancel all bus subscriptions made by :meth:`attach`."""
@@ -165,6 +178,7 @@ class MetricRecorder:
             subscription.cancel()
         self._subscriptions.clear()
         self._attached_buses.clear()
+        self.registry.detach()
 
     # -- report helpers ----------------------------------------------------
 

@@ -78,6 +78,9 @@ class ContainerRequest:
     strict: bool = False
     request_id: int = field(default_factory=lambda: next(_request_ids))
     cancelled: bool = False
+    #: Simulation time the RM accepted the request (allocation latency
+    #: on :class:`~repro.obs.events.ContainerAllocated` derives from it).
+    submitted_at: float = 0.0
 
     def cancel(self) -> None:
         """Withdraw the ask; pending requests are skipped by the RM."""

@@ -145,6 +145,7 @@ class ResourceManager:
             resource=resource,
             preferred_node=preferred_node,
             strict=strict,
+            submitted_at=self.env.now,
         )
         event = self.env.event()
         if self.bus.wants(ContainerRequested):
@@ -244,6 +245,7 @@ class ResourceManager:
                     request_id=request.request_id,
                     container_id=container.container_id,
                     node_id=container.node_id,
+                    wait_seconds=self.env.now - request.submitted_at,
                 ))
             event.succeed(container)
         self._pending = unserved

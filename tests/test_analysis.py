@@ -1,0 +1,126 @@
+"""Tests for the critical-path / bottleneck analyzer (repro.obs.analysis)."""
+
+import pytest
+
+from repro.cluster import Cluster, ClusterSpec, M3_LARGE
+from repro.core import HiWay
+from repro.obs import CriticalPathAnalyzer, render_report
+from repro.sim import Environment
+from repro.workflow import StaticTaskSource, TaskSpec, WorkflowGraph
+
+
+def _run_diamond(seed=0):
+    """Diamond run with an attached analyzer; returns (hiway, result,
+    analyzer, raw event list)."""
+    env = Environment()
+    cluster = Cluster(env, ClusterSpec(worker_spec=M3_LARGE, worker_count=3))
+    hiway = HiWay(cluster)
+    analyzer = CriticalPathAnalyzer(hiway.bus)
+    events = []
+    hiway.bus.subscribe("*", events.append)
+    hiway.install_everywhere("sort", "grep", "cat")
+    hiway.stage_inputs({"/in/a": 48.0}, seed=seed)
+    graph = WorkflowGraph("diamond")
+    graph.add_task(TaskSpec(tool="sort", inputs=["/in/a"], outputs=["/m1"],
+                            task_id="left"))
+    graph.add_task(TaskSpec(tool="grep", inputs=["/in/a"], outputs=["/m2"],
+                            task_id="right"))
+    graph.add_task(TaskSpec(tool="cat", inputs=["/m1", "/m2"],
+                            outputs=["/out"], task_id="join"))
+    result = hiway.run(StaticTaskSource(graph))
+    assert result.success, result.diagnostics
+    return hiway, result, analyzer, events
+
+
+def test_analyzer_reconstructs_the_dag_and_critical_path():
+    _hiway, result, analyzer, _events = _run_diamond()
+    analysis = analyzer.analysis(result.workflow_id)
+    assert analysis.complete and analysis.success
+    assert sorted(analysis.spans) == ["join", "left", "right"]
+    assert sorted(analysis.parents["join"]) == ["left", "right"]
+    assert analysis.parents["left"] == []
+    # The sink finishes last, so every critical path ends at it, and
+    # the path enters through whichever parent finished later.
+    assert analysis.critical_path[-1] == "join"
+    assert len(analysis.critical_path) == 2
+    assert analysis.critical_path[0] in ("left", "right")
+    assert analysis.spans["join"].on_critical_path
+
+
+def test_slack_is_zero_on_the_critical_path_and_positive_off_it():
+    _hiway, result, analyzer, _events = _run_diamond()
+    analysis = analyzer.analysis(result.workflow_id)
+    on_path = set(analysis.critical_path)
+    for task_id, span in analysis.spans.items():
+        if task_id in on_path:
+            assert span.slack_seconds == pytest.approx(0.0, abs=1e-9)
+        else:
+            assert span.slack_seconds >= 0.0
+    # The two diamond arms start together; unless they finished in the
+    # same instant, the faster one has real slack.
+    left = analysis.spans["left"]
+    right = analysis.spans["right"]
+    if left.finished_at != right.finished_at:
+        off_path = left if right.on_critical_path else right
+        assert off_path.slack_seconds > 0.0
+
+
+def test_phase_breakdown_and_utilization_are_consistent():
+    _hiway, result, analyzer, _events = _run_diamond()
+    analysis = analyzer.analysis(result.workflow_id)
+    for span in analysis.spans.values():
+        assert span.makespan_seconds == pytest.approx(
+            span.stage_in_seconds + span.compute_seconds
+            + span.stage_out_seconds,
+            abs=1e-6,
+        )
+        assert span.wait_seconds >= 0.0
+    breakdown = analysis.breakdown()
+    assert breakdown["compute"] > 0.0
+    assert set(breakdown) == {"wait", "stage_in", "compute", "stage_out"}
+    utilization = analysis.node_utilization()
+    assert sum(entry["tasks"] for entry in utilization.values()) == 3
+    for entry in utilization.values():
+        assert 0.0 <= entry["busy_fraction"] <= 1.0 + 1e-9
+
+
+def test_offline_replay_matches_live_subscription():
+    _hiway, result, live, events = _run_diamond()
+    offline = CriticalPathAnalyzer()
+    offline.replay(events)
+    live_analysis = live.analysis(result.workflow_id)
+    replayed = offline.analysis(result.workflow_id)
+    assert replayed.critical_path == live_analysis.critical_path
+    assert sorted(replayed.spans) == sorted(live_analysis.spans)
+    for task_id, span in replayed.spans.items():
+        assert span.slack_seconds == pytest.approx(
+            live_analysis.spans[task_id].slack_seconds
+        )
+
+
+def test_analysis_selection_and_missing_workflow():
+    _hiway, result, analyzer, _events = _run_diamond()
+    assert analyzer.analysis().workflow_id == result.workflow_id
+    with pytest.raises(KeyError):
+        analyzer.analysis("workflow-999999")
+    with pytest.raises(KeyError):
+        CriticalPathAnalyzer().analysis()
+
+
+def test_render_report_covers_the_required_sections():
+    hiway, result, analyzer, _events = _run_diamond()
+    text = render_report(
+        analyzer.analysis(result.workflow_id), registry=hiway.registry
+    )
+    assert "critical path:" in text
+    assert "per-task slack" in text
+    assert "time breakdown" in text
+    assert "stage-in" in text and "compute" in text
+    assert "per-node utilisation" in text
+    assert "hdfs read locality hit rate:" in text
+
+
+def test_render_report_truncates_long_task_tables():
+    _hiway, result, analyzer, _events = _run_diamond()
+    text = render_report(analyzer.analysis(result.workflow_id), max_tasks=1)
+    assert "... 2 more task(s)" in text

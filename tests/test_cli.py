@@ -80,6 +80,62 @@ def test_unparseable_workflow_reports_error(tmp_path, capsys):
     assert "cannot parse" in capsys.readouterr().err
 
 
+def test_report_subcommand_prints_critical_path(tmp_path, capsys):
+    workflow = write(tmp_path, "wf.cf", CUNEIFORM)
+    metrics_path = str(tmp_path / "metrics.json")
+    prom_path = str(tmp_path / "metrics.prom")
+    code = main([
+        "report", workflow,
+        "--workers", "2",
+        "--input", "/in/whisper=16",
+        "--metrics-out", metrics_path,
+        "--prometheus-out", prom_path,
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "critical path:" in out
+    assert "per-task slack" in out
+    assert "time breakdown" in out
+    assert "hdfs read locality hit rate:" in out
+    import json
+
+    document = json.loads(open(metrics_path).read())
+    assert document["hiway_task_attempts_total"]["values"]["outcome=success"] == 1
+    assert "# TYPE hiway_task_attempts_total counter" in open(prom_path).read()
+
+
+def _montage_args(tmp_path):
+    dax = write(tmp_path, "montage.dax", montage_dax(0.1))
+    inputs = []
+    for index in range(5):
+        inputs += ["--input", f"/data/2mass/raw-{index:02d}.fits=4.2"]
+    return [dax, "--workers", "3", "--quiet", *inputs]
+
+
+def test_explain_subcommand_names_node_and_scores(tmp_path, capsys):
+    base = _montage_args(tmp_path)
+    for scheduler, kind in [
+        ("fcfs", "queue-bind"),
+        ("data-aware", "queue-bind"),
+        ("adaptive-queue", "queue-bind"),
+        ("round-robin", "static-plan"),
+        ("heft", "static-plan"),
+    ]:
+        code = main(["explain", *base, "--scheduler", scheduler, "bgmodel"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert f"{scheduler} [{kind}] chose node worker-" in out
+        assert "candidates" in out
+
+
+def test_explain_unknown_task_lists_known_ids(tmp_path, capsys):
+    code = main(["explain", *_montage_args(tmp_path), "no-such-task"])
+    assert code == 1
+    err = capsys.readouterr().err
+    assert "no scheduling decisions" in err
+    assert "bgmodel" in err
+
+
 def test_argument_validation():
     parser = build_parser()
     with pytest.raises(SystemExit):

@@ -1,0 +1,128 @@
+"""Tests for the scheduler decision audit (repro.obs.decisions)."""
+
+import pytest
+
+from repro.cluster import Cluster, ClusterSpec, M3_LARGE
+from repro.core import HiWay, HiWayConfig
+from repro.core.schedulers import RoundRobinScheduler, SchedulerContext
+from repro.obs import DecisionAuditor, EventBus
+from repro.obs.events import SchedulingDecision
+from repro.sim import Environment
+from repro.workflow import StaticTaskSource, TaskSpec, WorkflowGraph
+
+POLICIES = ("fcfs", "data-aware", "adaptive-queue", "round-robin", "heft")
+QUEUE_POLICIES = ("fcfs", "data-aware", "adaptive-queue")
+TASK_IDS = ("left", "right", "join")
+
+
+def _run_audited(policy, seed=0):
+    """Diamond run with the decision audit on; returns (hiway, auditor)."""
+    env = Environment()
+    cluster = Cluster(env, ClusterSpec(worker_spec=M3_LARGE, worker_count=3))
+    hiway = HiWay(cluster, config=HiWayConfig(decision_audit=True))
+    hiway.install_everywhere("sort", "grep", "cat")
+    hiway.stage_inputs({"/in/a": 48.0}, seed=seed)
+    graph = WorkflowGraph("diamond")
+    graph.add_task(TaskSpec(tool="sort", inputs=["/in/a"], outputs=["/m1"],
+                            task_id="left"))
+    graph.add_task(TaskSpec(tool="grep", inputs=["/in/a"], outputs=["/m2"],
+                            task_id="right"))
+    graph.add_task(TaskSpec(tool="cat", inputs=["/m1", "/m2"],
+                            outputs=["/out"], task_id="join"))
+    result = hiway.run(StaticTaskSource(graph), scheduler=policy)
+    assert result.success, result.diagnostics
+    return hiway, hiway.auditor
+
+
+@pytest.mark.parametrize("policy", POLICIES)
+def test_every_policy_audits_every_task(policy):
+    hiway, auditor = _run_audited(policy)
+    assert sorted(auditor.task_ids()) == sorted(TASK_IDS)
+    workers = set(hiway.cluster.worker_ids)
+    expected_kind = "queue-bind" if policy in QUEUE_POLICIES else "static-plan"
+    for task_id in TASK_IDS:
+        for decision in auditor.decisions_for(task_id):
+            assert decision.policy == policy
+            assert decision.kind == expected_kind
+            assert decision.node_id in workers
+            assert decision.candidates  # never an unexplained pick
+            assert decision.score_name
+            assert decision.workflow_id.startswith("workflow-")
+
+
+@pytest.mark.parametrize("policy", POLICIES)
+def test_audit_log_byte_identical_across_runs(policy):
+    _h1, first = _run_audited(policy, seed=3)
+    _h2, second = _run_audited(policy, seed=3)
+    first_log = "\n".join(first.log_lines()).encode()
+    second_log = "\n".join(second.log_lines()).encode()
+    assert len(first) >= 3
+    assert first_log == second_log
+    assert first.to_json() == second.to_json()
+
+
+def test_static_plan_scores_nodes_queue_bind_scores_tasks():
+    _hiway, static_audit = _run_audited("round-robin")
+    for decision in static_audit.decisions:
+        assert decision.candidate_kind == "node"
+        assert decision.node_id in dict(decision.candidates)
+    _hiway, queue_audit = _run_audited("data-aware")
+    for decision in queue_audit.decisions:
+        assert decision.candidate_kind == "task"
+        assert decision.task_id in dict(decision.candidates)
+
+
+def test_explain_names_node_and_candidates():
+    _hiway, auditor = _run_audited("heft")
+    text = auditor.explain("join")
+    assert "heft [static-plan]" in text
+    assert "chose node worker-" in text
+    assert "estimated_eft" in text
+    assert "*" in text  # chosen candidate is marked
+    with pytest.raises(KeyError):
+        auditor.explain("no-such-task")
+
+
+def test_auditor_attaches_once_and_detaches():
+    bus = EventBus(Environment())
+    auditor = DecisionAuditor(bus)
+    with pytest.raises(RuntimeError):
+        auditor.attach(bus)
+    bus.emit(SchedulingDecision(task_id="a", node_id="worker-0"))
+    auditor.detach()
+    bus.emit(SchedulingDecision(task_id="b", node_id="worker-1"))
+    assert len(auditor) == 1
+    assert auditor.decisions[0].task_id == "a"
+
+
+def test_no_audit_work_without_subscriber():
+    hiway, _auditor = _run_audited("fcfs")
+    scheduler = RoundRobinScheduler()
+    # Bound to a bus nobody subscribed SchedulingDecision on: the
+    # policies skip all audit-only candidate scoring.
+    scheduler.bind(SchedulerContext(
+        worker_ids=["worker-0"], bus=EventBus(Environment())
+    ))
+    assert not scheduler._decisions_wanted()
+    assert hiway.auditor is not None  # audit config flips it on
+
+
+def test_retry_fallback_is_audited():
+    env = Environment()
+    bus = EventBus(env)
+    auditor = DecisionAuditor(bus)
+    scheduler = RoundRobinScheduler()
+    scheduler.bind(SchedulerContext(
+        worker_ids=["worker-0", "worker-1"], bus=bus, workflow_id="wf-1"
+    ))
+    task = TaskSpec(tool="sort", inputs=["/a"], outputs=["/b"], task_id="t0")
+    scheduler.plan([task])
+    planned = scheduler.placement_for(task)
+    scheduler.enqueue(task, excluded_nodes=frozenset({planned}))
+    fallbacks = [d for d in auditor.decisions if d.kind == "retry-fallback"]
+    assert len(fallbacks) == 1
+    decision = fallbacks[0]
+    assert decision.task_id == "t0"
+    assert decision.node_id != planned
+    assert decision.reason == "planned-node-excluded"
+    assert decision.score_name == "fallback_order"

@@ -218,3 +218,44 @@ def test_tracer_detach_stops_recording():
     bus.emit(TaskDispatched(workflow_id="w", task_id="t2"))
     assert tracer.counters["task.dispatched"] == 1
     assert not bus.active
+
+
+def test_tracer_exports_dangling_spans_as_incomplete():
+    """Node crash / workflow abort leaves open container and workflow
+    intervals; the export must show them as truncated, not drop them."""
+    from repro.obs.events import ContainerAllocated
+
+    env = Environment()
+    bus = EventBus(env)
+    tracer = Tracer(bus)
+
+    def proc(env):
+        bus.emit(WorkflowStarted(workflow_id="w1", name="doomed"))
+        bus.emit(ContainerAllocated(app_id="app-1", request_id=1,
+                                    container_id="c1", node_id="worker-0"))
+        yield env.timeout(7.0)
+        # Neither ContainerReleased nor WorkflowFinished ever arrives.
+
+    env.process(proc(env))
+    env.run()
+
+    events = tracer.chrome_trace_events()
+    incomplete = [
+        e for e in events
+        if e["ph"] == "X" and e.get("args", {}).get("incomplete")
+    ]
+    assert {e["name"] for e in incomplete} == {"c1", "doomed"}
+    for record in incomplete:
+        assert record["ts"] == 0.0
+        assert record["dur"] == pytest.approx(7.0 * 1e6)
+    # Their processes/threads are named in the metadata block.
+    named = {
+        e["args"]["name"] for e in events
+        if e["ph"] == "M" and e["name"] == "process_name"
+    }
+    assert {"containers", "workflows"} <= named
+    assert tracer.metrics_summary()["spans_incomplete"] == 2
+    # Export is non-mutating: a second export sees the same picture,
+    # and the open-interval bookkeeping is still live.
+    assert tracer.chrome_trace_events() == events
+    assert tracer._container_open and tracer._workflow_open

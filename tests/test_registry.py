@@ -1,0 +1,163 @@
+"""Tests for the typed metrics registry (repro.obs.registry)."""
+
+import json
+
+import pytest
+
+from repro.cluster import Cluster, ClusterSpec, M3_LARGE
+from repro.core import HiWay
+from repro.obs.registry import Counter, Gauge, Histogram, MetricsRegistry
+from repro.sim import Environment
+from repro.workflow import StaticTaskSource, TaskSpec, WorkflowGraph
+
+
+# -- instrument unit behaviour ---------------------------------------------------
+
+
+def test_counter_is_monotonic():
+    counter = Counter("c")
+    counter.inc()
+    counter.inc(2.5)
+    assert counter.value == 3.5
+    with pytest.raises(ValueError):
+        counter.inc(-1)
+
+
+def test_gauge_moves_both_ways():
+    gauge = Gauge("g")
+    gauge.set(4.0)
+    gauge.inc()
+    gauge.dec(2.0)
+    assert gauge.value == 3.0
+
+
+def test_histogram_buckets_sum_and_mean():
+    histogram = Histogram("h", buckets=(1.0, 10.0))
+    for value in (0.5, 0.7, 5.0, 50.0):
+        histogram.observe(value)
+    assert histogram.count == 4
+    assert histogram.sum == pytest.approx(56.2)
+    assert histogram.mean() == pytest.approx(14.05)
+    # Cumulative le counts include the implicit +Inf bucket.
+    assert histogram.cumulative_counts() == [
+        (1.0, 2), (10.0, 3), (float("inf"), 4)
+    ]
+
+
+def test_histogram_needs_a_bucket():
+    with pytest.raises(ValueError):
+        Histogram("h", buckets=())
+
+
+def test_labels_create_independent_series():
+    registry = MetricsRegistry()
+    reads = registry.counter("reads_mb", labelnames=("locality",))
+    reads.labels(locality="local").inc(10.0)
+    reads.labels(locality="remote").inc(2.0)
+    reads.labels(locality="local").inc(5.0)
+    assert registry.value("reads_mb", locality="local") == 15.0
+    assert registry.value("reads_mb", locality="remote") == 2.0
+    assert registry.value("reads_mb", locality="external") == 0.0
+    with pytest.raises(ValueError):
+        reads.labels(direction="in")
+
+
+def test_registration_is_idempotent_but_type_checked():
+    registry = MetricsRegistry()
+    first = registry.counter("x_total")
+    assert registry.counter("x_total") is first
+    with pytest.raises(ValueError):
+        registry.gauge("x_total")
+    assert registry.value("never_touched") == 0.0
+    assert registry.get("never_touched") is None
+
+
+# -- bus-fed aggregation --------------------------------------------------------
+
+
+def _run_diamond(seed=0):
+    env = Environment()
+    cluster = Cluster(env, ClusterSpec(worker_spec=M3_LARGE, worker_count=3))
+    hiway = HiWay(cluster)
+    hiway.install_everywhere("sort", "grep", "cat")
+    hiway.stage_inputs({"/in/a": 48.0}, seed=seed)
+    graph = WorkflowGraph("diamond")
+    graph.add_task(TaskSpec(tool="sort", inputs=["/in/a"], outputs=["/m1"],
+                            task_id="left"))
+    graph.add_task(TaskSpec(tool="grep", inputs=["/in/a"], outputs=["/m2"],
+                            task_id="right"))
+    graph.add_task(TaskSpec(tool="cat", inputs=["/m1", "/m2"],
+                            outputs=["/out"], task_id="join"))
+    result = hiway.run(StaticTaskSource(graph))
+    assert result.success, result.diagnostics
+    return hiway, result
+
+
+def test_registry_aggregates_a_whole_run():
+    hiway, _result = _run_diamond()
+    registry = hiway.registry
+    assert registry is hiway.cluster.metrics.registry
+    assert registry.value("hiway_task_attempts_total", outcome="success") == 3
+    assert registry.value("hiway_task_attempts_total", outcome="failure") == 0
+    assert registry.value("hiway_containers_launched_total") == 3
+    assert registry.value("hiway_workflows_total", outcome="success") == 1
+    # All containers released: the live gauge returns to zero.
+    assert registry.value("hiway_containers_live") == 0
+    runtimes = registry.get("hiway_task_runtime_seconds")
+    observed = sum(child.count for _key, child in runtimes.series())
+    assert observed == 3
+    assert 0.0 <= registry.read_locality() <= 1.0
+
+
+def test_legacy_counters_view_matches_registry():
+    hiway, _result = _run_diamond()
+    counters = hiway.cluster.metrics.counters
+    assert counters["task_attempts"] == 3
+    assert counters["task_successes"] == 3
+    assert counters["task_failures"] == 0
+    assert counters["containers_launched"] == 3
+    read_total = (
+        counters["hdfs_read_local_mb"] + counters["hdfs_read_remote_mb"]
+    )
+    assert read_total > 0
+
+
+def test_exports_are_deterministic_across_identical_runs():
+    first, _r1 = _run_diamond(seed=5)
+    second, _r2 = _run_diamond(seed=5)
+    assert first.registry.to_json() == second.registry.to_json()
+    assert first.registry.to_prometheus() == second.registry.to_prometheus()
+
+
+def test_json_and_prometheus_exports_are_well_formed():
+    hiway, _result = _run_diamond()
+    document = json.loads(hiway.registry.to_json())
+    entry = document["hiway_task_attempts_total"]
+    assert entry["type"] == "counter"
+    assert entry["values"]["outcome=success"] == 3
+    histogram = document["hiway_task_runtime_seconds"]["values"]["tool=cat"]
+    assert histogram["count"] == 1
+    assert histogram["buckets"]["+Inf"] == 1
+
+    text = hiway.registry.to_prometheus()
+    assert "# TYPE hiway_task_attempts_total counter" in text
+    assert 'hiway_task_attempts_total{outcome="success"} 3' in text
+    assert "# TYPE hiway_task_runtime_seconds histogram" in text
+    assert 'le="+Inf"' in text
+    assert "hiway_task_runtime_seconds_count" in text
+
+
+def test_attach_is_idempotent_and_detach_stops_updates():
+    env = Environment()
+    cluster = Cluster(env, ClusterSpec(worker_spec=M3_LARGE, worker_count=2))
+    registry = MetricsRegistry()
+    registry.attach(cluster.bus)
+    registry.attach(cluster.bus)  # no double counting
+    from repro.obs.events import NodeCrashed
+
+    cluster.bus.emit(NodeCrashed(node_id="worker-0", containers_lost=2))
+    assert registry.value("hiway_node_crashes_total") == 1
+    assert registry.value("hiway_containers_lost_total") == 2
+    registry.detach()
+    cluster.bus.emit(NodeCrashed(node_id="worker-1", containers_lost=1))
+    assert registry.value("hiway_node_crashes_total") == 1

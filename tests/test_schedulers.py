@@ -175,6 +175,29 @@ def test_heft_requires_provenance():
         scheduler.plan(chain_tasks())
 
 
+def test_heft_no_provenance_error_names_workflow_and_tasks():
+    """The failure must identify what could not be planned, not just why."""
+    scheduler = bind(HeftScheduler())
+    scheduler.context.workflow_id = "workflow-000042"
+    with pytest.raises(SchedulingError) as excinfo:
+        scheduler.plan(make_tasks(7))
+    message = str(excinfo.value)
+    assert "workflow-000042" in message
+    assert "7 tasks" in message
+    assert "t0" in message and "..." in message  # first ids, then elided
+    assert "provenance" in message
+    assert "data-aware" in message  # points at a policy that would work
+
+
+def test_heft_no_provenance_error_without_submission_context():
+    scheduler = bind(HeftScheduler())
+    with pytest.raises(SchedulingError) as excinfo:
+        scheduler.plan(make_tasks(2))
+    message = str(excinfo.value)
+    assert "<unsubmitted>" in message
+    assert "2 tasks: t0, t1)" in message  # short lists are not elided
+
+
 def test_heft_prefers_observed_fast_node():
     env = Environment()
     observations = []
