@@ -130,6 +130,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_workflow_arguments(explain)
     explain.add_argument("task_id", help="task to explain (e.g. 'join')")
+    bench = subparsers.add_parser(
+        "bench",
+        help="run the kernel/locality/scheduler/end-to-end benchmark "
+        "suite and write BENCH_<n>.json (optionally compare against a "
+        "baseline and fail on regressions)",
+    )
+    from repro.perf.bench import add_bench_arguments
+
+    add_bench_arguments(bench)
     return parser
 
 
@@ -300,6 +309,10 @@ def main(argv: Optional[list[str]] = None) -> int:
         return report_command(args)
     if args.command == "explain":
         return explain_command(args)
+    if args.command == "bench":
+        from repro.perf.bench import run_bench_command
+
+        return run_bench_command(args)
     raise AssertionError("unreachable")  # pragma: no cover
 
 

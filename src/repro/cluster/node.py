@@ -93,20 +93,45 @@ class Node:
         )
         return flow.done
 
-    def start_background_cpu(self, label: str = "stress-cpu", weight: float = 1.0) -> Flow:
-        """Pin one core's worth of permanent load (``stress -c 1``).
+    def start_background_cpu(
+        self, label: str = "stress-cpu", weight: float = 1.0, count: int = 1
+    ) -> Flow:
+        """Pin ``count`` cores' worth of permanent load (``stress -c N``).
 
         ``weight`` < 1 models nodes whose cgroups prioritise YARN
         containers over unprivileged background processes.
+
+        The ``count`` identical hogs are modelled as a single aggregate
+        flow with cap ``count`` and weight ``count * weight``: under
+        weighted max-min each individual hog would receive
+        ``min(1, weight * level)``, so the aggregate receives exactly
+        ``count`` times that at every fill level. This keeps the solver's
+        per-rebalance cost independent of the hog count (Fig. 9 runs 682
+        stress processes).
         """
+        if count < 1:
+            raise SimulationError("stress count must be >= 1")
         return self._network.start_flow(
-            size=None, resources=[self.cpu], cap=1.0, label=label, weight=weight
+            size=None,
+            resources=[self.cpu],
+            cap=float(count),
+            label=label,
+            weight=count * weight,
         )
 
-    def start_background_io(self, label: str = "stress-io", weight: float = 1.0) -> Flow:
-        """One permanent greedy disk writer (``stress -d 1``)."""
+    def start_background_io(
+        self, label: str = "stress-io", weight: float = 1.0, count: int = 1
+    ) -> Flow:
+        """``count`` permanent greedy disk writers (``stress -d N``).
+
+        Aggregated into one flow of weight ``count * weight``; exact for
+        uncapped flows under weighted max-min (see
+        :meth:`start_background_cpu`).
+        """
+        if count < 1:
+            raise SimulationError("stress count must be >= 1")
         return self._network.start_flow(
-            size=None, resources=[self.disk], label=label, weight=weight
+            size=None, resources=[self.disk], label=label, weight=count * weight
         )
 
     def __repr__(self) -> str:

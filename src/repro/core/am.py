@@ -230,6 +230,7 @@ class HiWayApplicationMaster:
             self._diagnostics.append(error)
             self._workflow_failed = True
         success = not self._workflow_failed
+        self.scheduler.unbind()
         if self._heartbeat_flow is not None:
             self._heartbeat_flow.cancel()
             self._heartbeat_flow = None

@@ -74,6 +74,16 @@ class WorkflowScheduler:
         """Attach cluster/HDFS/provenance handles before use."""
         self.context = context
 
+    def unbind(self) -> None:
+        """Release context resources (bus subscriptions, caches).
+
+        Called by the AM when a workflow finishes; policies that
+        subscribe to bus events in :meth:`bind` override this to cancel
+        them so a finished workflow's scheduler no longer reacts to
+        cluster events.
+        """
+        self.context = None
+
     def _require_context(self) -> SchedulerContext:
         if self.context is None:
             raise SchedulingError(f"{self.name}: scheduler not bound to a context")

@@ -28,13 +28,15 @@ __all__ = [
     "EXPERIMENTS",
 ]
 
-#: experiment id -> callable(quick: bool) -> ExperimentTable
+#: experiment id -> callable(quick: bool, jobs: int | None) -> ExperimentTable
+#: ``jobs`` is the process-pool width (1 = serial, None = all cores);
+#: parallel runs produce byte-identical tables (see repro.perf.grid).
 EXPERIMENTS = {
-    "table1": lambda quick=False: run_table1(),
-    "fig4": lambda quick=False: run_fig4(quick=quick),
-    "table2": lambda quick=False: run_table2(quick=quick),
-    "fig5": lambda quick=False: run_table2(quick=quick),  # same series
-    "fig6": lambda quick=False: run_fig6(quick=quick),
-    "fig8": lambda quick=False: run_fig8(quick=quick),
-    "fig9": lambda quick=False: run_fig9(quick=quick),
+    "table1": lambda quick=False, jobs=1: run_table1(jobs=jobs),
+    "fig4": lambda quick=False, jobs=1: run_fig4(quick=quick, jobs=jobs),
+    "table2": lambda quick=False, jobs=1: run_table2(quick=quick, jobs=jobs),
+    "fig5": lambda quick=False, jobs=1: run_table2(quick=quick, jobs=jobs),  # same series
+    "fig6": lambda quick=False, jobs=1: run_fig6(quick=quick, jobs=jobs),
+    "fig8": lambda quick=False, jobs=1: run_fig8(quick=quick, jobs=jobs),
+    "fig9": lambda quick=False, jobs=1: run_fig9(quick=quick, jobs=jobs),
 }

@@ -5,6 +5,8 @@ Usage::
     python -m repro.experiments table1
     python -m repro.experiments fig4 --quick
     python -m repro.experiments all --quick
+    python -m repro.experiments fig9 --parallel
+    python -m repro.experiments table2 --jobs 4
 """
 
 from __future__ import annotations
@@ -31,11 +33,24 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="run the laptop-sized variant (same shape, smaller scale)",
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="spread the run grid over N worker processes (default: 1, serial)",
+    )
+    parser.add_argument(
+        "--parallel",
+        action="store_true",
+        help="shorthand for --jobs <all cores>",
+    )
     args = parser.parse_args(argv)
+    jobs = None if args.parallel else args.jobs
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     for name in names:
         started = time.time()
-        table = EXPERIMENTS[name](quick=args.quick)
+        table = EXPERIMENTS[name](quick=args.quick, jobs=jobs)
         print(table.format())
         print(f"(regenerated in {time.time() - started:.1f}s)\n")
     return 0

@@ -19,6 +19,7 @@ from repro.core import HiWay, HiWayConfig
 from repro.experiments.common import ExperimentTable, mean, minutes, std
 from repro.hdfs import HdfsClient
 from repro.langs import CuneiformSource
+from repro.perf import run_grid
 from repro.sim import Environment
 from repro.tools import default_registry
 from repro.workloads import SNV_TOOLS, sample_read_files, snv_cuneiform, snv_graph
@@ -122,8 +123,23 @@ def _run_tez(config: Fig4Config, containers: int, seed: int) -> float:
     return result.runtime_seconds
 
 
-def run_fig4(config: Fig4Config | None = None, quick: bool = False) -> ExperimentTable:
-    """Regenerate the Figure 4 series (mean runtime vs containers)."""
+def _fig4_unit(system: str, config: Fig4Config, containers: int, seed: int) -> float:
+    """One grid point (picklable for the process-pool runner)."""
+    runner = _run_hiway if system == "hiway" else _run_tez
+    return minutes(runner(config, containers, seed))
+
+
+def run_fig4(
+    config: Fig4Config | None = None,
+    quick: bool = False,
+    jobs: int | None = 1,
+) -> ExperimentTable:
+    """Regenerate the Figure 4 series (mean runtime vs containers).
+
+    ``jobs`` spreads the (system x containers x seed) grid over a
+    process pool (``None`` = all cores); results merge in grid order,
+    so the table is identical to a serial run.
+    """
     if config is None:
         config = Fig4Config.quick() if quick else Fig4Config()
     table = ExperimentTable(
@@ -141,15 +157,16 @@ def run_fig4(config: Fig4Config | None = None, quick: bool = False) -> Experimen
             f"{config.backbone_mb_s:.0f} MB/s switch, {config.runs} run(s)"
         ),
     )
+    params = [
+        (system, config, containers, seed)
+        for containers in config.container_counts
+        for system in ("hiway", "tez")
+        for seed in range(config.runs)
+    ]
+    results = iter(run_grid(_fig4_unit, params, jobs=jobs))
     for containers in config.container_counts:
-        hiway_runs = [
-            minutes(_run_hiway(config, containers, seed))
-            for seed in range(config.runs)
-        ]
-        tez_runs = [
-            minutes(_run_tez(config, containers, seed))
-            for seed in range(config.runs)
-        ]
+        hiway_runs = [next(results) for _ in range(config.runs)]
+        tez_runs = [next(results) for _ in range(config.runs)]
         table.add_row(
             containers,
             mean(hiway_runs), std(hiway_runs),

@@ -20,6 +20,7 @@ from typing import Optional
 
 from repro.experiments.common import ExperimentTable
 from repro.experiments.table2 import Table2Config, run_weak_scaling_once
+from repro.perf import run_grid
 
 __all__ = ["Fig6Config", "run_fig6"]
 
@@ -39,8 +40,59 @@ class Fig6Config:
         return cls(worker_counts=(1, 4, 16))
 
 
-def run_fig6(config: Optional[Fig6Config] = None, quick: bool = False) -> ExperimentTable:
-    """Regenerate the Figure 6 utilisation series."""
+def _fig6_unit(weak_config: Table2Config, workers: int, seed: int) -> tuple:
+    """One utilisation row, fully computed in the (sub)process.
+
+    The metrics recorder and NameNode counters only exist inside the
+    installation that ran the workflow, so the whole row is reduced to
+    plain floats here and the installation never crosses the process
+    boundary.
+    """
+    seconds, hiway = run_weak_scaling_once(weak_config, workers, seed)
+    metrics = hiway.cluster.metrics
+    metrics.finish()
+    duration = metrics.duration()
+    hadoop_cpu = metrics.average_rate("cpu:master-0")
+    hiway_cpu = metrics.average_rate("cpu:master-1")
+    worker_cpu = sum(
+        metrics.average_rate(f"cpu:worker-{i}") for i in range(workers)
+    ) / workers
+    hadoop_io = metrics.average_utilization("disk:master-0")
+    worker_io = sum(
+        metrics.average_utilization(f"disk:worker-{i}") for i in range(workers)
+    ) / workers
+    # Master network: RPC traffic (heartbeats + metadata ops).
+    # NameNode ops are counted; heartbeats arrive at ~1 Hz per node.
+    # Container lifecycle RPCs (allocate response, NM launch, NM
+    # completion report) are tallied from the observability bus.
+    hdfs_ops = hiway.hdfs.namenode.ops
+    lifecycle_rpcs = 3 * metrics.counters.get("containers_launched", 0)
+    heartbeat_rpcs = workers * duration  # 1 Hz per NM and per DN
+    hadoop_net = (
+        (hdfs_ops + lifecycle_rpcs + 2 * heartbeat_rpcs)
+        * RPC_MB / max(duration, 1e-9)
+    )
+    worker_net = sum(
+        metrics.average_rate(f"link:worker-{i}") for i in range(workers)
+    ) / workers
+    return (
+        workers,
+        hadoop_cpu, hiway_cpu, worker_cpu,
+        hadoop_io, worker_io,
+        hadoop_net, worker_net,
+    )
+
+
+def run_fig6(
+    config: Optional[Fig6Config] = None,
+    quick: bool = False,
+    jobs: Optional[int] = 1,
+) -> ExperimentTable:
+    """Regenerate the Figure 6 utilisation series.
+
+    ``jobs`` spreads the per-scale runs over a process pool (``None`` =
+    all cores); rows merge in scale order, identical to a serial run.
+    """
     if config is None:
         config = Fig6Config.quick() if quick else Fig6Config()
     table = ExperimentTable(
@@ -59,38 +111,11 @@ def run_fig6(config: Optional[Fig6Config] = None, quick: bool = False) -> Experi
         ),
     )
     weak_config = Table2Config(runs=1)
-    for workers in config.worker_counts:
-        seconds, hiway = run_weak_scaling_once(weak_config, workers, config.seed)
-        metrics = hiway.cluster.metrics
-        metrics.finish()
-        duration = metrics.duration()
-        hadoop_cpu = metrics.average_rate("cpu:master-0")
-        hiway_cpu = metrics.average_rate("cpu:master-1")
-        worker_cpu = sum(
-            metrics.average_rate(f"cpu:worker-{i}") for i in range(workers)
-        ) / workers
-        hadoop_io = metrics.average_utilization("disk:master-0")
-        worker_io = sum(
-            metrics.average_utilization(f"disk:worker-{i}") for i in range(workers)
-        ) / workers
-        # Master network: RPC traffic (heartbeats + metadata ops).
-        # NameNode ops are counted; heartbeats arrive at ~1 Hz per node.
-        # Container lifecycle RPCs (allocate response, NM launch, NM
-        # completion report) are tallied from the observability bus.
-        hdfs_ops = hiway.hdfs.namenode.ops
-        lifecycle_rpcs = 3 * metrics.counters.get("containers_launched", 0)
-        heartbeat_rpcs = workers * duration  # 1 Hz per NM and per DN
-        hadoop_net = (
-            (hdfs_ops + lifecycle_rpcs + 2 * heartbeat_rpcs)
-            * RPC_MB / max(duration, 1e-9)
-        )
-        worker_net = sum(
-            metrics.average_rate(f"link:worker-{i}") for i in range(workers)
-        ) / workers
-        table.add_row(
-            workers,
-            hadoop_cpu, hiway_cpu, worker_cpu,
-            hadoop_io, worker_io,
-            hadoop_net, worker_net,
-        )
+    rows = run_grid(
+        _fig6_unit,
+        [(weak_config, workers, config.seed) for workers in config.worker_counts],
+        jobs=jobs,
+    )
+    for row in rows:
+        table.add_row(*row)
     return table

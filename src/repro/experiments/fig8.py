@@ -20,6 +20,7 @@ from repro.core import HiWay, HiWayConfig
 from repro.experiments.common import ExperimentTable, mean, minutes, std
 from repro.hdfs import HdfsClient
 from repro.langs import GalaxySource, parse_galaxy
+from repro.perf import run_grid
 from repro.sim import Environment
 from repro.tools import default_registry
 from repro.workloads import (
@@ -102,8 +103,27 @@ def _run_cloudman(config: Fig8Config, nodes: int, seed: int) -> float:
     return result.runtime_seconds
 
 
-def run_fig8(config: Optional[Fig8Config] = None, quick: bool = False) -> ExperimentTable:
-    """Regenerate the Figure 8 series (runtime vs cluster size)."""
+def _fig8_unit(
+    system: str, config: Fig8Config, nodes: int, seed: int
+) -> tuple[float, Optional[float]]:
+    """One grid point: (runtime minutes, locality or None for CloudMan)."""
+    if system == "hiway":
+        runtime, locality = _run_hiway(config, nodes, seed)
+        return minutes(runtime), locality
+    return minutes(_run_cloudman(config, nodes, seed)), None
+
+
+def run_fig8(
+    config: Optional[Fig8Config] = None,
+    quick: bool = False,
+    jobs: Optional[int] = 1,
+) -> ExperimentTable:
+    """Regenerate the Figure 8 series (runtime vs cluster size).
+
+    ``jobs`` spreads the (system x nodes x seed) grid over a process
+    pool (``None`` = all cores); results merge in grid order, identical
+    to a serial run.
+    """
     if config is None:
         config = Fig8Config.quick() if quick else Fig8Config()
     table = ExperimentTable(
@@ -121,15 +141,18 @@ def run_fig8(config: Optional[Fig8Config] = None, quick: bool = False) -> Experi
             f"replicates, EBS {config.ebs_mb_s:.0f} MB/s, {config.runs} run(s)"
         ),
     )
+    params = [
+        (system, config, nodes, seed)
+        for nodes in config.node_counts
+        for system in ("hiway", "cloudman")
+        for seed in range(config.runs)
+    ]
+    results = iter(run_grid(_fig8_unit, params, jobs=jobs))
     for nodes in config.node_counts:
-        hiway_outcomes = [
-            _run_hiway(config, nodes, seed) for seed in range(config.runs)
-        ]
-        hiway_runs = [minutes(runtime) for runtime, _ in hiway_outcomes]
+        hiway_outcomes = [next(results) for _ in range(config.runs)]
+        hiway_runs = [runtime for runtime, _ in hiway_outcomes]
         hiway_localities = [locality for _, locality in hiway_outcomes]
-        cloudman_runs = [
-            minutes(_run_cloudman(config, nodes, seed)) for seed in range(config.runs)
-        ]
+        cloudman_runs = [next(results)[0] for _ in range(config.runs)]
         table.add_row(
             nodes,
             mean(hiway_runs), std(hiway_runs),

@@ -28,6 +28,7 @@ from repro.core.provenance import TraceFileStore
 from repro.experiments.common import ExperimentTable, median, std
 from repro.hdfs import HdfsClient
 from repro.langs import DaxSource
+from repro.perf import run_grid
 from repro.sim import Environment
 from repro.workloads import MONTAGE_TOOLS, montage_dax, montage_inputs
 from repro.yarn import ResourceManager
@@ -115,11 +116,18 @@ def _one_experiment(
     return fcfs_runtime, heft_runtimes, heft_localities
 
 
-def run_fig9(config: Optional[Fig9Config] = None, quick: bool = False) -> ExperimentTable:
+def run_fig9(
+    config: Optional[Fig9Config] = None,
+    quick: bool = False,
+    jobs: Optional[int] = 1,
+) -> ExperimentTable:
     """Regenerate the Figure 9 series.
 
     Row ``prior_runs=k`` is the HEFT execution that had k prior runs of
     provenance available; the FCFS baseline is reported alongside.
+    Repeats are independent experiments, so ``jobs`` spreads them over a
+    process pool (``None`` = all cores) with results merged in seed
+    order — identical tables to a serial run.
     """
     if config is None:
         config = Fig9Config.quick() if quick else Fig9Config()
@@ -130,8 +138,12 @@ def run_fig9(config: Optional[Fig9Config] = None, quick: bool = False) -> Experi
     locality_by_index: list[list[float]] = [
         [] for _ in range(config.consecutive_heft_runs)
     ]
-    for seed in range(config.experiment_repeats):
-        fcfs_runtime, heft_runtimes, heft_localities = _one_experiment(config, seed)
+    outcomes = run_grid(
+        _one_experiment,
+        [(config, seed) for seed in range(config.experiment_repeats)],
+        jobs=jobs,
+    )
+    for fcfs_runtime, heft_runtimes, heft_localities in outcomes:
         fcfs_runtimes.append(fcfs_runtime)
         for index, runtime in enumerate(heft_runtimes):
             heft_by_index[index].append(runtime)

@@ -7,11 +7,12 @@ from repro.experiments.common import ExperimentTable
 __all__ = ["run_table1"]
 
 
-def run_table1() -> ExperimentTable:
+def run_table1(jobs: int | None = 1) -> ExperimentTable:
     """Regenerate the experiment-overview table.
 
     Static metadata by nature; the rows double as an index into the
-    other experiment modules.
+    other experiment modules. ``jobs`` is accepted for harness
+    uniformity and ignored — there is nothing to parallelise.
     """
     table = ExperimentTable(
         experiment_id="table1",

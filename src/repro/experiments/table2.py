@@ -19,6 +19,7 @@ from repro.core import HiWay, HiWayConfig
 from repro.experiments.common import ExperimentTable, mean, minutes, std
 from repro.hdfs import HdfsClient
 from repro.langs import CuneiformSource
+from repro.perf import run_grid
 from repro.sim import Environment
 from repro.workloads import SNV_TOOLS, sample_read_files, snv_cuneiform
 from repro.yarn import ResourceManager
@@ -84,10 +85,29 @@ def run_weak_scaling_once(config: Table2Config, workers: int, seed: int):
     return result.runtime_seconds, hiway
 
 
+def _weak_scaling_unit(
+    config: Table2Config, workers: int, seed: int
+) -> tuple[float, float]:
+    """One grid point: (runtime seconds, cluster hourly cost).
+
+    Picklable for the process-pool runner: the Hi-WAY installation stays
+    in the worker process; only the scalars Table 2 needs come back.
+    """
+    seconds, hiway = run_weak_scaling_once(config, workers, seed)
+    return seconds, hiway.cluster.spec.hourly_cost()
+
+
 def run_table2(
-    config: Optional[Table2Config] = None, quick: bool = False
+    config: Optional[Table2Config] = None,
+    quick: bool = False,
+    jobs: Optional[int] = 1,
 ) -> ExperimentTable:
-    """Regenerate Table 2 (and with it Figure 5's series)."""
+    """Regenerate Table 2 (and with it Figure 5's series).
+
+    ``jobs`` spreads the (workers x seed) grid over a process pool
+    (``None`` = all cores); results merge in grid order, so the table is
+    identical to a serial run.
+    """
     if config is None:
         config = Table2Config.quick() if quick else Table2Config()
     table = ExperimentTable(
@@ -103,15 +123,23 @@ def run_table2(
             f"per node; {config.runs} run(s); $0.146/h per m3.large VM"
         ),
     )
+    params = [
+        (config, workers, seed)
+        for workers in config.worker_counts
+        for seed in range(config.runs)
+    ]
+    results = iter(run_grid(_weak_scaling_unit, params, jobs=jobs))
     for workers in config.worker_counts:
         runtimes = []
-        hiway = None
-        for seed in range(config.runs):
-            seconds, hiway = run_weak_scaling_once(config, workers, seed)
+        hourly_cost = 0.0
+        for _ in range(config.runs):
+            seconds, hourly_cost = next(results)
             runtimes.append(seconds)
         data_gb = workers * config.files_per_sample * config.mb_per_file / 1024.0
         mean_seconds = mean(runtimes)
-        cost = hiway.cluster.run_cost(mean_seconds)
+        # Per-minute billing of every provisioned VM (Table 2 footnote),
+        # the same arithmetic as Cluster.run_cost.
+        cost = (mean_seconds / 60.0) * hourly_cost / 60.0
         table.add_row(
             workers,
             2,

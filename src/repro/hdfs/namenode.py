@@ -52,6 +52,14 @@ class NameNode:
         self.block_size_mb = block_size_mb
         self._placement = placement or DefaultPlacementPolicy()
         self._host = host
+        # Per-node inverted locality index: node_id -> {path -> MB of the
+        # file resident on that node}. Maintained on block placement,
+        # file deletion and DataNode loss, so locality queries are dict
+        # lookups instead of block-list scans (the data-aware scheduler
+        # issues them in a tight loop).
+        self._local_index: dict[str, dict[str, float]] = {
+            node_id: {} for node_id in self._datanodes
+        }
         #: Number of metadata RPCs served (create/lookup/delete).
         self.ops = 0
         self._report_flows = {}
@@ -81,6 +89,7 @@ class NameNode:
         """Add a DataNode (used when clusters grow in tests)."""
         if node_id not in self._datanodes:
             self._datanodes.append(node_id)
+        self._local_index.setdefault(node_id, {})
 
     def remove_datanode(self, node_id: str) -> None:
         """Drop a DataNode, e.g. after a simulated crash.
@@ -91,6 +100,7 @@ class NameNode:
         """
         if node_id in self._datanodes:
             self._datanodes.remove(node_id)
+        self._local_index.pop(node_id, None)
         report_flow = self._report_flows.pop(node_id, None)
         if report_flow is not None:
             report_flow.cancel()
@@ -122,6 +132,11 @@ class NameNode:
                 raise HdfsError("no DataNodes available for placement")
             hdfs_file.blocks.append(Block(index, block_size, replicas))
         self._files[path] = hdfs_file
+        local_index = self._local_index
+        for block in hdfs_file.blocks:
+            for replica in block.replicas:
+                node_map = local_index.setdefault(replica, {})
+                node_map[path] = node_map.get(path, 0.0) + block.size_mb
         if self.bus.wants(BlocksPlaced):
             self.bus.emit(BlocksPlaced(
                 path=path,
@@ -147,9 +162,15 @@ class NameNode:
     def delete(self, path: str) -> None:
         """Remove ``path`` from the namespace."""
         self._charge()
-        if path not in self._files:
+        hdfs_file = self._files.pop(path, None)
+        if hdfs_file is None:
             raise FileNotFoundInHdfs(path)
-        del self._files[path]
+        local_index = self._local_index
+        for block in hdfs_file.blocks:
+            for replica in block.replicas:
+                node_map = local_index.get(replica)
+                if node_map is not None:
+                    node_map.pop(path, None)
 
     def list_paths(self) -> list[str]:
         """All paths currently in the namespace."""
@@ -164,21 +185,52 @@ class NameNode:
         real system the information is served from the client-side block
         cache, so it is not billed as a NameNode RPC here.
         """
-        hdfs_file = self._files.get(path)
-        if hdfs_file is None:
+        if path not in self._files:
             raise FileNotFoundInHdfs(path)
-        return sum(
-            block.size_mb for block in hdfs_file.blocks if block.is_local_to(node_id)
-        )
+        node_map = self._local_index.get(node_id)
+        return node_map.get(path, 0.0) if node_map else 0.0
 
     def local_fraction(self, paths: list[str], node_id: str) -> float:
         """Fraction of the aggregate bytes of ``paths`` local to ``node_id``."""
+        files = self._files
+        node_map = self._local_index.get(node_id) or {}
         total = 0.0
         local = 0.0
         for path in paths:
-            hdfs_file = self._files.get(path)
+            hdfs_file = files.get(path)
             if hdfs_file is None:
                 continue  # External inputs (e.g. S3) have no local replicas.
             total += hdfs_file.size_mb
-            local += self.local_bytes(path, node_id)
+            local += node_map.get(path, 0.0)
         return local / total if total > 0 else 0.0
+
+    def batch_local_fractions(
+        self,
+        input_lists: list[list[str]],
+        node_id: str,
+        external_mb: Optional[list[float]] = None,
+    ) -> list[float]:
+        """Locality fractions of many candidate input sets vs one node.
+
+        ``input_lists[i]`` is a list of HDFS paths (a missing path raises
+        :class:`FileNotFoundInHdfs`, matching the lookup-based client
+        path); ``external_mb[i]``, when given, adds that many MB of
+        necessarily non-local (e.g. S3-hosted) input to the denominator.
+        Like :meth:`local_bytes`, this is served from the client-side
+        block cache in the real system, so it is not billed as RPCs.
+        """
+        files = self._files
+        node_map = self._local_index.get(node_id) or {}
+        fractions = []
+        for index, paths in enumerate(input_lists):
+            hdfs_total = 0.0
+            local = 0.0
+            for path in paths:
+                hdfs_file = files.get(path)
+                if hdfs_file is None:
+                    raise FileNotFoundInHdfs(path)
+                hdfs_total += hdfs_file.size_mb
+                local += node_map.get(path, 0.0)
+            total = hdfs_total + (external_mb[index] if external_mb else 0.0)
+            fractions.append(local / total if total > 0 else 0.0)
+        return fractions

@@ -1,0 +1,16 @@
+"""Performance harness: parallel grid running and benchmark tracking.
+
+Two concerns live here:
+
+* :mod:`repro.perf.grid` — a deterministic process-pool runner the
+  experiment harnesses (fig4/fig6/fig8/fig9/table2) use to spread their
+  (workflow x scheduler x scale x seed) grids over cores;
+* :mod:`repro.perf.bench` — the ``python -m repro bench`` suite that
+  measures kernel, locality-query, scheduler and end-to-end throughput
+  and writes ``BENCH_<n>.json`` so every change has a perf trajectory
+  to compare against.
+"""
+
+from repro.perf.grid import default_jobs, run_grid
+
+__all__ = ["run_grid", "default_jobs"]

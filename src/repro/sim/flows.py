@@ -86,6 +86,7 @@ class Flow:
         "remaining",
         "cap",
         "weight",
+        "_cap_level",
         "_rate",
         "done",
         "label",
@@ -109,6 +110,8 @@ class Flow:
         self.remaining = None if size is None else float(size)
         self.cap = cap
         self.weight = weight
+        #: Fill level at which the cap binds; precomputed for the solver.
+        self._cap_level = math.inf if cap is None else cap / weight
         self._rate = 0.0
         self.done = done
         self.label = label
@@ -141,6 +144,11 @@ class FlowNetwork:
         self.resources: dict[str, Resource] = {}
         # Insertion-ordered (dict-as-set) for deterministic iteration.
         self._flows: dict[Flow, None] = {}
+        # The finite (non-permanent) subset of _flows: the only flows the
+        # settle/next-completion scans ever need to visit. On stressed
+        # clusters permanent background flows dominate the population, so
+        # scanning just this subset is a large constant-factor win.
+        self._finite: dict[Flow, None] = {}
         self._last_settle = env.now
         self._timer_version = 0
         self._recorder: Optional["MetricRecorder"] = None
@@ -203,18 +211,25 @@ class FlowNetwork:
             done.succeed(flow)
             return flow
         self._flows[flow] = None
+        if size is not None:
+            self._finite[flow] = None
         for resource in resolved:
             resource.flows[flow] = None
         self._mark_dirty()
         return flow
 
+    def _drop(self, flow: Flow) -> None:
+        """Detach ``flow`` from all bookkeeping (no settle, no event)."""
+        self._flows.pop(flow, None)
+        self._finite.pop(flow, None)
+        for resource in flow.resources:
+            resource.flows.pop(flow, None)
+
     def _remove(self, flow: Flow, fire: bool) -> None:
         if flow not in self._flows:
             return
         self._settle()
-        self._flows.pop(flow, None)
-        for resource in flow.resources:
-            resource.flows.pop(flow, None)
+        self._drop(flow)
         if fire and flow.done is not None and not flow.done.triggered:
             flow.done.succeed(flow)
         self._mark_dirty()
@@ -226,17 +241,15 @@ class FlowNetwork:
         elapsed = self.env.now - self._last_settle
         if elapsed > 0:
             finished = []
-            for flow in self._flows:
-                if flow.remaining is not None and flow._rate > 0:
+            for flow in self._finite:
+                if flow._rate > 0:
                     flow.remaining = max(0.0, flow.remaining - flow._rate * elapsed)
                     if flow.remaining <= _EPSILON:
                         finished.append(flow)
             # Completions are normally handled by the timer; settling can
             # still observe them when several flows tie exactly.
             for flow in finished:
-                self._flows.pop(flow, None)
-                for resource in flow.resources:
-                    resource.flows.pop(flow, None)
+                self._drop(flow)
                 if flow.done is not None and not flow.done.triggered:
                     flow.done.succeed(flow)
         self._last_settle = self.env.now
@@ -253,14 +266,10 @@ class FlowNetwork:
         if self._dirty:
             return
         self._dirty = True
-        shim = Event(self.env)
-        shim._ok = True
-        shim._value = None
-        shim.callbacks.append(lambda _event: self.flush())
         # Priority 2: after every ordinary event at this timestamp.
-        self.env._schedule(shim, priority=2)
+        self.env._schedule_deferred(self.flush, priority=2)
 
-    def flush(self) -> None:
+    def flush(self, _arg: object = None) -> None:
         """Apply any deferred rebalance immediately."""
         if not self._dirty:
             return
@@ -298,7 +307,7 @@ class FlowNetwork:
         # Capped flows ordered by the level at which their cap binds.
         capped = sorted(
             (f for f in unfrozen if f.cap is not None),
-            key=lambda f: f.cap / f.weight,
+            key=lambda f: f._cap_level,
         )
         cap_index = 0
         level = 0.0
@@ -322,8 +331,7 @@ class FlowNetwork:
                     bottlenecks.append(resource)
             cap_bound = math.inf
             if cap_index < len(capped):
-                next_cap = capped[cap_index]
-                cap_bound = next_cap.cap / next_cap.weight - level
+                cap_bound = capped[cap_index]._cap_level - level
             newly_frozen: list[Flow] = []
             if cap_bound < delta - _EPSILON:
                 level += max(cap_bound, 0.0)
@@ -339,8 +347,7 @@ class FlowNetwork:
             # freezes too (this also covers the cap_bound branch above).
             while (
                 cap_index < len(capped)
-                and capped[cap_index].cap / capped[cap_index].weight
-                <= level + _EPSILON
+                and capped[cap_index]._cap_level <= level + _EPSILON
             ):
                 flow = capped[cap_index]
                 cap_index += 1
@@ -377,9 +384,11 @@ class FlowNetwork:
         self._timer_version += 1
         version = self._timer_version
         next_in = math.inf
-        for flow in self._flows:
-            if flow.remaining is not None and flow._rate > _EPSILON:
-                next_in = min(next_in, flow.remaining / flow._rate)
+        for flow in self._finite:
+            if flow._rate > _EPSILON:
+                candidate = flow.remaining / flow._rate
+                if candidate < next_in:
+                    next_in = candidate
         if math.isinf(next_in):
             return
         # Clamp the delay to a few ULPs of the current clock: a delay
@@ -393,15 +402,9 @@ class FlowNetwork:
             if version != self._timer_version:
                 return  # A newer rebalance superseded this timer.
             self._settle()
-            done = [
-                f
-                for f in list(self._flows)
-                if f.remaining is not None and f.remaining <= _EPSILON
-            ]
+            done = [f for f in self._finite if f.remaining <= _EPSILON]
             for flow in done:
-                self._flows.pop(flow, None)
-                for resource in flow.resources:
-                    resource.flows.pop(flow, None)
+                self._drop(flow)
                 if flow.done is not None and not flow.done.triggered:
                     flow.done.succeed(flow)
             self._rebalance()

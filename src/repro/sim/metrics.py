@@ -83,9 +83,13 @@ class MetricRecorder:
                 if rate:
                     self.usages[name].integral += rate * elapsed
         self._last_time = now
+        # One flush up front, then read the refreshed caches directly:
+        # snapshot() runs once per rebalance, so the per-resource
+        # flush-check of the ``usage`` property is pure overhead here.
+        self._network.flush()
         new_rates: dict[str, float] = {}
         for resource in self._network.resources.values():
-            rate = resource.usage
+            rate = resource.cached_usage
             usage = self._usage_for(resource)
             usage.peak = max(usage.peak, rate)
             new_rates[resource.name] = rate

@@ -110,6 +110,118 @@ def test_step_advances_exactly_one_event():
         env.step()
 
 
+def test_interrupt_before_first_step_fails_the_process():
+    # A generator that has not run its first step cannot enter a try
+    # block, so the interrupt surfaces as a process failure (and, with
+    # nobody waiting to defuse it, escapes run()).
+    env = Environment()
+    ran = []
+
+    def body(env):
+        ran.append(True)
+        yield env.timeout(5.0)
+
+    victim = env.process(body(env))
+    victim.interrupt("before bootstrap")
+    with pytest.raises(Interrupt):
+        env.run()
+    assert not ran
+    assert victim.triggered and not victim.ok
+    assert isinstance(victim.value, Interrupt)
+
+
+def test_waiting_on_already_processed_event_delivers_value():
+    env = Environment()
+    gate = env.event()
+    gate.succeed("cargo")
+    env.run()  # gate is fully processed, callbacks list recycled
+    assert gate.processed
+    seen = []
+
+    def late(env):
+        value = yield gate
+        seen.append((value, env.now))
+
+    env.process(late(env))
+    env.run()
+    assert seen == [("cargo", 0.0)]
+
+
+def test_run_until_time_fires_events_at_that_exact_timestamp():
+    env = Environment()
+    log = []
+
+    def proc(env):
+        yield env.timeout(5.0)
+        log.append(env.now)
+        yield env.timeout(0.1)
+        log.append(env.now)
+
+    env.process(proc(env))
+    env.run(until=5.0)
+    # The event scheduled exactly at the stop time is processed; the
+    # one strictly after it is not.
+    assert log == [5.0]
+    assert env.now == 5.0
+
+
+def test_heap_tie_break_is_fifo_by_schedule_order():
+    env = Environment()
+    order = []
+
+    def stamped(env, tag):
+        yield env.timeout(1.0)
+        order.append(tag)
+
+    for tag in range(20):
+        env.process(stamped(env, tag))
+    env.run()
+    assert order == list(range(20))
+
+
+def test_condition_results_computed_once_with_many_events():
+    env = Environment()
+    width = 200
+    gates = [env.event() for _ in range(width)]
+    condition = env.all_of(gates)
+    calls = []
+    original = type(condition)._results
+
+    def counting(self):
+        calls.append(1)
+        return original(self)
+
+    type(condition)._results = counting
+    try:
+
+        def firer(env):
+            for index, gate in enumerate(gates):
+                yield env.timeout(0.01)
+                gate.succeed(index)
+
+        env.process(firer(env))
+        env.run()
+    finally:
+        type(condition)._results = original
+    # One snapshot at trigger time, not one per constituent event.
+    assert len(calls) == 1
+    assert condition.value == {gate: i for i, gate in enumerate(gates)}
+
+
+def test_any_of_many_events_returns_first_only():
+    env = Environment()
+    gates = [env.event() for _ in range(150)]
+    condition = env.any_of(gates)
+
+    def firer(env):
+        yield env.timeout(2.0)
+        gates[37].succeed("winner")
+
+    env.process(firer(env))
+    env.run(until=condition)
+    assert condition.value == {gates[37]: "winner"}
+
+
 def test_flow_rate_read_forces_pending_rebalance():
     env = Environment()
     net = FlowNetwork(env)

@@ -108,3 +108,20 @@ def test_statistics_helpers():
     assert median([3.0, 1.0, 2.0]) == 2.0
     assert median([4.0, 1.0, 2.0, 3.0]) == 2.5
     assert minutes(120.0) == 2.0
+
+
+def test_parallel_grid_is_byte_identical_to_serial():
+    """--jobs N must change wall time only, never a single table byte."""
+    config = Table2Config(worker_counts=(1, 2), runs=2)
+    serial = run_table2(config, jobs=1)
+    parallel = run_table2(config, jobs=2)
+    assert repr(serial.rows) == repr(parallel.rows)
+    assert serial.format() == parallel.format()
+
+
+def test_cli_main_accepts_jobs_and_parallel_flags(capsys):
+    from repro.experiments.__main__ import main
+
+    assert main(["table1", "--jobs", "2"]) == 0
+    assert main(["table1", "--parallel"]) == 0
+    assert "Overview" in capsys.readouterr().out

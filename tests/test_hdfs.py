@@ -155,3 +155,86 @@ def test_write_size_validation():
     env, cluster, hdfs = make_hdfs()
     with pytest.raises(HdfsError):
         run_proc(env, hdfs.write("/neg", -1.0, "worker-0"))
+
+
+# -- inverted locality index -------------------------------------------------
+
+
+def brute_force_local_mb(namenode, path, node_id):
+    """Reference implementation: scan every block's replica list."""
+    entry = namenode.lookup(path)
+    return sum(block.size_mb for block in entry.blocks if node_id in block.replicas)
+
+
+def test_locality_index_matches_block_scan():
+    env, cluster, hdfs = make_hdfs(workers=5, replication=2)
+    for i in range(8):
+        run_proc(env, hdfs.write(f"/d/{i}", 100.0 + 64.0 * i, f"worker-{i % 5}"))
+    namenode = hdfs.namenode
+    for i in range(8):
+        for w in range(5):
+            path, node = f"/d/{i}", f"worker-{w}"
+            assert namenode.local_bytes(path, node) == pytest.approx(
+                brute_force_local_mb(namenode, path, node)
+            )
+
+
+def test_locality_index_updates_on_delete():
+    env, cluster, hdfs = make_hdfs(workers=4, replication=2)
+    run_proc(env, hdfs.write("/keep", 100.0, "worker-0"))
+    run_proc(env, hdfs.write("/drop", 100.0, "worker-0"))
+    namenode = hdfs.namenode
+    assert namenode.local_fraction(["/keep", "/drop"], "worker-0") == pytest.approx(1.0)
+    hdfs.delete("/drop")
+    with pytest.raises(FileNotFoundInHdfs):
+        namenode.local_bytes("/drop", "worker-0")
+    # The surviving file's index entry is untouched.
+    assert namenode.local_bytes("/keep", "worker-0") == pytest.approx(100.0)
+    assert namenode.local_fraction(["/keep"], "worker-0") == pytest.approx(1.0)
+
+
+def test_locality_index_updates_on_datanode_removal():
+    env, cluster, hdfs = make_hdfs(workers=4, replication=2)
+    run_proc(env, hdfs.write("/f", 200.0, "worker-1"))
+    namenode = hdfs.namenode
+    assert namenode.local_bytes("/f", "worker-1") == pytest.approx(200.0)
+    namenode.remove_datanode("worker-1")
+    # The crashed node no longer holds anything; survivors still agree
+    # with a block scan.
+    assert namenode.local_fraction(["/f"], "worker-1") == 0.0
+    for w in (0, 2, 3):
+        node = f"worker-{w}"
+        assert namenode.local_bytes("/f", node) == pytest.approx(
+            brute_force_local_mb(namenode, "/f", node)
+        )
+
+
+def test_batch_local_fractions_match_serial_queries():
+    env, cluster, hdfs = make_hdfs(workers=4, replication=2)
+    for i in range(6):
+        run_proc(env, hdfs.write(f"/in/{i}", 50.0 * (i + 1), f"worker-{i % 4}"))
+    hdfs.register_external("s3://bucket/sample", 120.0)
+    input_lists = [
+        ["/in/0", "/in/1"],
+        ["/in/2", "/in/3", "/in/4"],
+        ["/in/5", "s3://bucket/sample"],
+        [],
+    ]
+    batched = hdfs.local_fractions(input_lists, "worker-2")
+    serial = [hdfs.local_fraction(paths, "worker-2") for paths in input_lists]
+    assert batched == pytest.approx(serial)
+
+
+def test_batch_local_fractions_are_not_billed_as_rpcs():
+    env, cluster, hdfs = make_hdfs(workers=4)
+    run_proc(env, hdfs.write("/f", 10.0, "worker-0"))
+    before = hdfs.namenode.ops
+    hdfs.local_fractions([["/f"]] * 32, "worker-1")
+    assert hdfs.namenode.ops == before
+
+
+def test_batch_local_fractions_missing_path_raises():
+    env, cluster, hdfs = make_hdfs(workers=4)
+    run_proc(env, hdfs.write("/f", 10.0, "worker-0"))
+    with pytest.raises(FileNotFoundInHdfs):
+        hdfs.namenode.batch_local_fractions([["/f"], ["/ghost"]], "worker-0")

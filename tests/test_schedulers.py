@@ -306,3 +306,99 @@ def test_data_aware_cache_consistency():
     assert second.task_id == "t1"
     # Remaining tasks tie at zero locality: FIFO.
     assert scheduler.select_task("worker-0").task_id == "t2"
+
+
+class FakeBatchHdfs(FakeHdfs):
+    """FakeHdfs plus the NameNode-backed batch scoring API."""
+
+    def __init__(self, locality):
+        super().__init__(locality)
+        self.batch_calls = 0
+        self.single_calls = 0
+
+    def local_fraction(self, paths, node_id):
+        self.single_calls += 1
+        return super().local_fraction(paths, node_id)
+
+    def local_fractions(self, input_lists, node_id):
+        self.batch_calls += 1
+        return [
+            super(FakeBatchHdfs, self).local_fraction(paths, node_id)
+            for paths in input_lists
+        ]
+
+
+LOCALITY = {
+    "/in/0": {"worker-0": 1.0},
+    "/in/1": {"worker-1": 1.0},
+    "/in/2": {"worker-2": 1.0},
+    "/in/3": {"worker-0": 0.5},
+    "/in/4": {"worker-1": 0.25},
+    "/in/5": {},
+    "/in/6": {},
+    "/in/7": {},
+}
+
+
+def drain(scheduler, nodes):
+    """Round-robin containers over ``nodes`` until the queue empties."""
+    order = []
+    while scheduler.pending_count():
+        for node in nodes:
+            task = scheduler.select_task(node)
+            if task is not None:
+                order.append((node, task.task_id))
+    return order
+
+
+def test_data_aware_batch_and_fallback_agree():
+    batched = bind(DataAwareScheduler(), hdfs=FakeBatchHdfs(LOCALITY))
+    fallback = bind(DataAwareScheduler(), hdfs=FakeHdfs(LOCALITY))
+    for scheduler in (batched, fallback):
+        for task in make_tasks(8):
+            scheduler.enqueue(task)
+    nodes = list(WORKERS)
+    assert drain(batched, nodes) == drain(fallback, nodes)
+    assert batched.context.hdfs.batch_calls > 0
+    # The deep-queue path must not fall back to per-task queries.
+    assert batched.context.hdfs.single_calls == 0
+
+
+def test_data_aware_take_evicts_whole_cache_entry():
+    scheduler = bind(DataAwareScheduler(), hdfs=FakeHdfs(LOCALITY))
+    for task in make_tasks(8):
+        scheduler.enqueue(task)
+    # Deep-queue selections from two nodes prime multi-node entries.
+    for node in ("worker-0", "worker-1"):
+        scheduler._score_eligible(
+            scheduler._eligible_indices(node), node, scheduler.context.hdfs
+        )
+    assert all(len(v) == 2 for v in scheduler._fraction_cache.values())
+    taken = scheduler.select_task("worker-0")
+    assert taken.task_id == "t0"
+    # Every node's entry for the taken task is gone, not just worker-0's.
+    assert "t0" not in scheduler._fraction_cache
+    assert "t1" in scheduler._fraction_cache
+
+
+def test_data_aware_node_crash_clears_cache():
+    from repro.obs import EventBus
+    from repro.obs.events import NodeCrashed
+
+    bus = EventBus()
+    hdfs = FakeHdfs(LOCALITY)
+    scheduler = DataAwareScheduler()
+    scheduler.bind(SchedulerContext(
+        worker_ids=list(WORKERS), hdfs=hdfs, bus=bus,
+    ))
+    for task in make_tasks(8):
+        scheduler.enqueue(task)
+    assert scheduler.select_task("worker-0").task_id == "t0"
+    assert scheduler._fraction_cache
+    bus.emit(NodeCrashed(node_id="worker-0", containers_lost=1))
+    assert not scheduler._fraction_cache
+    # Unbinding cancels the subscription: later crashes are not observed.
+    scheduler.select_task("worker-1")
+    scheduler.unbind()
+    assert bus.subscriber_count() == 0
+    assert scheduler.context is None
