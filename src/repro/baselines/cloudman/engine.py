@@ -8,19 +8,34 @@ persistent EBS volume that is network-attached and shared among all
 compute nodes, while Hi-WAY uses the workers' transient local SSDs via
 HDFS. Every byte a CloudMan task touches therefore crosses the node's
 link, the switch backbone, and the volume's aggregate throughput limit.
+
+Execution runs through the shared
+:class:`~repro.core.engine.ExecutionCore` with the
+:class:`SlurmQueueBackend` (CloudMan's master-queue path): readiness is
+EBS-volume existence, there are no retries, and a task failure aborts
+the whole run immediately (``fail_mode="abort"``), as Galaxy does.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import itertools
+
 from repro.baselines.cloudman.slurm import SlurmScheduler
 from repro.cluster.cluster import Cluster
 from repro.cluster.node import Node
+from repro.core.engine import (
+    CloudManResult,
+    ExecutionBackend,
+    ExecutionCore,
+    ReadySetTracker,
+    RetryPolicy,
+    TaskAttempt,
+)
 from repro.errors import ToolNotInstalled, WorkflowError
 from repro.tools.profile import ToolRegistry
-from repro.workflow.model import TaskSpec, WorkflowGraph
+from repro.workflow.model import WorkflowGraph
 
-__all__ = ["EbsVolume", "CloudManResult", "GalaxyCloudMan"]
+__all__ = ["EbsVolume", "CloudManResult", "SlurmQueueBackend", "GalaxyCloudMan"]
 
 #: CloudMan's automated setup only supports clusters up to this size.
 CLOUDMAN_MAX_NODES = 20
@@ -60,20 +75,38 @@ class EbsVolume:
         return self._cluster.ebs_io(node_id, size_mb, label=f"ebs-s:{node_id}")
 
 
-@dataclass
-class CloudManResult:
-    """Terminal report of one CloudMan workflow execution."""
+class SlurmQueueBackend(ExecutionBackend):
+    """ExecutionBackend: CloudMan's master-queue path through Slurm."""
 
-    name: str
-    success: bool
-    started_at: float
-    finished_at: float
-    tasks_completed: int
-    diagnostics: list[str] = field(default_factory=list)
+    engine = "cloudman"
 
-    @property
-    def runtime_seconds(self) -> float:
-        return self.finished_at - self.started_at
+    def __init__(self, cloudman: "GalaxyCloudMan"):
+        self.cloudman = cloudman
+
+    def submit(self, attempt: TaskAttempt) -> None:
+        cloudman = self.cloudman
+        done = cloudman.slurm.submit(
+            lambda node, attempt=attempt: cloudman._job_body(attempt, node)
+        )
+        cloudman.env.process(self._watch(attempt, done))
+
+    def live_nodes(self) -> set[str]:
+        return {
+            node.node_id
+            for node in self.cloudman.cluster.workers
+            if node.alive
+        }
+
+    def _watch(self, attempt: TaskAttempt, done):
+        """Relay one Slurm job outcome back into the execution core."""
+        job, value = yield done
+        node_id = job.node.node_id if job.node is not None else ""
+        if isinstance(value, BaseException):
+            self.core.attempt_finished(
+                attempt, node_id, success=False, error=value
+            )
+        else:
+            self.core.attempt_finished(attempt, node_id, success=True)
 
 
 class GalaxyCloudMan:
@@ -99,6 +132,8 @@ class GalaxyCloudMan:
         #: A later CloudMan update added transient (local-disk) storage;
         #: off by default, as EBS "continues to be the default option".
         self.use_transient_storage = use_transient_storage
+        self._core: ExecutionCore | None = None
+        self._workflow_ids = itertools.count(1)
 
     def stage_inputs(self, files: dict[str, float]) -> None:
         """Place input files onto the volume (no simulated time)."""
@@ -117,55 +152,38 @@ class GalaxyCloudMan:
         """Generator process executing ``graph`` on Slurm."""
         graph.validate()
         started = self.env.now
-        diagnostics: list[str] = []
+        core = ExecutionCore(
+            self.env,
+            SlurmQueueBackend(self),
+            bus=self.cluster.bus,
+            tracker=ReadySetTracker(storage_exists=self.volume.exists),
+            retry=RetryPolicy(max_retries=0, exclude_failed_nodes=False),
+            name=graph.name,
+            fail_mode="abort",  # Galaxy aborts the run on the first failure
+            result_cls=CloudManResult,
+        )
+        self._core = core
+        core.begin(f"cloudman-{next(self._workflow_ids):04d}")
         for path in graph.input_files():
             if not self.volume.exists(path):
-                return CloudManResult(
-                    graph.name, False, started, self.env.now, 0,
-                    [f"missing input file {path!r}"],
+                return core.finalize(
+                    started, error=f"missing input file {path!r}"
                 )
-        completed: set[str] = set()
-        dispatched: set[str] = set()
-        outstanding: dict = {}
-        failed = False
+        if not graph.tasks:
+            return core.finalize(started)
+        core.register(graph.topological_order())
+        core.dispatch_ready()
+        if core.deadlocked():
+            return core.finalize(
+                started, error="workflow stalled: no runnable tasks"
+            )
+        yield core.done
+        return core.finalize(started)
 
-        def ready(task: TaskSpec) -> bool:
-            return all(self.volume.exists(path) for path in task.inputs)
-
-        while len(completed) < len(graph.tasks) and not failed:
-            for task in graph.topological_order():
-                if task.task_id in dispatched or not ready(task):
-                    continue
-                dispatched.add(task.task_id)
-                outstanding[task.task_id] = self.slurm.submit(
-                    lambda node, task=task: self._job_body(task, node)
-                )
-            if not outstanding:
-                diagnostics.append("workflow stalled: no runnable tasks")
-                failed = True
-                break
-            finished = yield self.env.any_of(list(outstanding.values()))
-            for event, payload in list(finished.items()):
-                job, value = payload
-                for task_id, pending in list(outstanding.items()):
-                    if pending is event:
-                        del outstanding[task_id]
-                        if isinstance(value, BaseException):
-                            diagnostics.append(f"task {task_id} failed: {value!r}")
-                            failed = True
-                        else:
-                            completed.add(task_id)
-        return CloudManResult(
-            name=graph.name,
-            success=not failed,
-            started_at=started,
-            finished_at=self.env.now,
-            tasks_completed=len(completed),
-            diagnostics=diagnostics,
-        )
-
-    def _job_body(self, task: TaskSpec, node: Node):
+    def _job_body(self, attempt: TaskAttempt, node: Node):
         """One Galaxy job: EBS stage-in, tool run, EBS stage-out."""
+        task = attempt.task
+        self._core.attempt_running(attempt, node.node_id)
         profile = self.tools.get(task.tool)
         if not node.has_software(task.tool):
             raise ToolNotInstalled(

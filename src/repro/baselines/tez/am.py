@@ -11,18 +11,28 @@ Differences from the Hi-WAY AM that matter for the Figure 4 comparison:
   statistics the way Hi-WAY's Provenance Manager does.
 
 What is shared — deliberately — is the container lifecycle (HDFS
-stage-in, tool invocation, HDFS stage-out) and the YARN substrate, so
-the comparison isolates scheduling behaviour just like the paper's
-experiment did.
+stage-in, tool invocation, HDFS stage-out), the YARN substrate, and the
+task-attempt FSM of :class:`~repro.core.engine.ExecutionCore`, so the
+comparison isolates scheduling behaviour just like the paper's
+experiment did. The Tez-specific part is the
+:class:`TezVertexBackend`: a strict-FIFO container pool with Tez's
+signature container reuse, gated by vertex barriers.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Optional
 
 from repro.baselines.tez.dag import SCATTER_GATHER, TezDag, from_workflow_graph
 from repro.cluster.cluster import Cluster
+from repro.core.engine import (
+    ExecutionBackend,
+    ExecutionCore,
+    ReadySetTracker,
+    RetryPolicy,
+    TaskAttempt,
+    TezResult,
+)
 from repro.core.execution import run_task_in_container
 from repro.hdfs.filesystem import HdfsClient
 from repro.tools.profile import ToolRegistry
@@ -30,24 +40,98 @@ from repro.workflow.model import TaskSpec, WorkflowGraph
 from repro.yarn.records import ContainerResource, ContainerState
 from repro.yarn.resourcemanager import ResourceManager
 
-__all__ = ["TezResult", "TezApplicationMaster"]
+__all__ = ["TezResult", "TezVertexBackend", "TezApplicationMaster"]
 
 
-@dataclass
-class TezResult:
-    """Terminal report of one Tez DAG execution."""
+class TezVertexBackend(ExecutionBackend):
+    """ExecutionBackend: strict-FIFO container pool with reuse.
 
-    dag_name: str
-    success: bool
-    started_at: float
-    finished_at: float
-    tasks_completed: int
-    task_failures: int
-    diagnostics: list[str] = field(default_factory=list)
+    Submitted attempts join one locality-blind queue; each outstanding
+    container request spawns a chain that serves queue entries off
+    whatever node YARN allocated, reusing the warm container while the
+    queue is non-empty (Tez's signature optimisation).
+    """
 
-    @property
-    def runtime_seconds(self) -> float:
-        return self.finished_at - self.started_at
+    engine = "tez"
+
+    def __init__(self, am: "TezApplicationMaster"):
+        self.am = am
+        self.queue: list[TaskAttempt] = []
+        #: Chains currently holding or awaiting a container.
+        self.chains = 0
+
+    # -- protocol ----------------------------------------------------------------
+
+    def submit(self, attempt: TaskAttempt) -> None:
+        am = self.am
+        self.queue.append(attempt)
+        request = am.rm.request_container(am._app, am.container_resource)
+        self.chains += 1
+        am.env.process(self._chain(request))
+
+    def live_nodes(self) -> set[str]:
+        return {
+            node.node_id for node in self.am.cluster.workers if node.alive
+        }
+
+    def quiescent(self) -> bool:
+        return self.chains == 0 and not self.queue
+
+    # -- container lifecycle -----------------------------------------------------
+
+    def _chain(self, request):
+        am = self.am
+        core = self.core
+        container = yield request
+        while True:
+            if core.workflow_failed or not self.queue:
+                am.rm.release_container(container)
+                self.chains -= 1
+                core.check_done()
+                return
+            attempt = self.queue.pop(0)  # strict FIFO, no locality
+            core.attempt_running(attempt, container.node_id)
+            watcher = am.rm.node_managers[container.node_id].launch(
+                container,
+                run_task_in_container(
+                    am.env, am.cluster, am.hdfs, am.tools,
+                    attempt.task, container,
+                ),
+            )
+            outcome = yield watcher
+            if outcome.success:
+                result = outcome.value
+                core.attempt_finished(
+                    attempt,
+                    container.node_id,
+                    success=True,
+                    makespan_seconds=result.makespan_seconds,
+                    output_sizes=result.output_sizes,
+                    value=result,
+                )
+            else:
+                core.attempt_finished(
+                    attempt, container.node_id, success=False,
+                    error=outcome.error,
+                )
+            reusable = (
+                am.reuse_containers
+                and container.state is ContainerState.COMPLETED
+                and am.cluster.node(container.node_id).alive
+                and not core.workflow_failed
+                and bool(self.queue)
+            )
+            if reusable:
+                # Tez's signature optimisation: the warm container takes
+                # the next queued task instead of going back to YARN.
+                # Surplus outstanding requests simply find an empty queue
+                # on allocation and release immediately.
+                am.containers_reused += 1
+                continue
+            am.rm.release_container(container)
+            self.chains -= 1
+            core.check_done()
+            return
 
 
 class TezApplicationMaster:
@@ -92,16 +176,22 @@ class TezApplicationMaster:
             }
             for name in self.dag.vertices
         }
-        self._available: set[str] = set()
-        self._attempts: dict[str, int] = {}
-        self._dispatched: set[str] = set()
-        self._completed_tasks: set[str] = set()
-        self._queue: list[TaskSpec] = []
-        self._running = 0
-        self._failures = 0
-        self._failed = False
-        self._diagnostics: list[str] = []
-        self._done = self.env.event()
+        self.backend = TezVertexBackend(self)
+        self.core = ExecutionCore(
+            self.env,
+            self.backend,
+            bus=cluster.bus,
+            tracker=ReadySetTracker(
+                storage_exists=hdfs.exists, gate=self._task_unblocked
+            ),
+            retry=RetryPolicy(
+                max_retries=max_retries, exclude_failed_nodes=False
+            ),
+            name=self.dag.name,
+            fail_mode="drain",
+            on_success=self._on_attempt_success,
+            result_cls=TezResult,
+        )
         self._app = None
 
     # -- readiness -------------------------------------------------------------
@@ -112,13 +202,8 @@ class TezApplicationMaster:
             for upstream in self._barriers[vertex_name]
         )
 
-    def _task_ready(self, task: TaskSpec) -> bool:
-        if not self._vertex_unblocked(self._vertex_of[task.task_id]):
-            return False
-        return all(
-            path in self._available or self.hdfs.exists(path)
-            for path in task.inputs
-        )
+    def _task_unblocked(self, task: TaskSpec) -> bool:
+        return self._vertex_unblocked(self._vertex_of[task.task_id])
 
     # -- main process ---------------------------------------------------------------
 
@@ -126,110 +211,37 @@ class TezApplicationMaster:
         """Generator process executing the DAG to completion."""
         started = self.env.now
         self._app = self.rm.register_application(f"tez:{self.dag.name}")
+        self.core.begin(self._app.app_id)
         for path in self.dag.input_files():
             if not self.hdfs.exists(path):
                 return self._finish(started, error=f"missing input file {path!r}")
-            self._available.add(path)
+            self.core.add_available([path])
         total = sum(v.parallelism for v in self.dag.vertices.values())
         if total == 0:
             return self._finish(started)
-        self._dispatch_ready()
-        if self._running == 0:
+        self.core.register(
+            task
+            for vertex in self.dag.vertices.values()
+            for task in vertex.tasks
+        )
+        self.core.dispatch_ready()
+        if self.core.deadlocked():
             return self._finish(started, error="DAG has no runnable tasks")
-        yield self._done
+        yield self.core.done
         return self._finish(started)
 
     def _finish(self, started: float, error: Optional[str] = None) -> TezResult:
         if error is not None:
-            self._diagnostics.append(error)
-            self._failed = True
+            self.core.fail(error)
         if self._app is not None:
             self.rm.unregister_application(self._app)
-        return TezResult(
-            dag_name=self.dag.name,
-            success=not self._failed,
-            started_at=started,
-            finished_at=self.env.now,
-            tasks_completed=len(self._completed_tasks),
-            task_failures=self._failures,
-            diagnostics=list(self._diagnostics),
-        )
+        return self.core.finalize(started)
 
-    # -- dispatch --------------------------------------------------------------------
+    # -- execution-core hooks -------------------------------------------------------
 
-    def _dispatch_ready(self) -> None:
-        for vertex in self.dag.vertices.values():
-            for task in vertex.tasks:
-                if task.task_id in self._dispatched:
-                    continue
-                if self._task_ready(task):
-                    self._dispatched.add(task.task_id)
-                    self._submit(task)
-
-    def _submit(self, task: TaskSpec) -> None:
-        self._queue.append(task)
-        request = self.rm.request_container(self._app, self.container_resource)
-        self._running += 1
-        self.env.process(self._chain(request))
-
-    def _chain(self, request):
-        container = yield request
-        while True:
-            if self._failed or not self._queue:
-                self.rm.release_container(container)
-                self._running -= 1
-                self._check_done()
-                return
-            task = self._queue.pop(0)  # strict FIFO, no locality
-            self._attempts[task.task_id] = self._attempts.get(task.task_id, 0) + 1
-            watcher = self.rm.node_managers[container.node_id].launch(
-                container,
-                run_task_in_container(
-                    self.env, self.cluster, self.hdfs, self.tools, task, container
-                ),
-            )
-            outcome = yield watcher
-            if outcome.success:
-                result = outcome.value
-                self._completed_tasks.add(task.task_id)
-                vertex_name = self._vertex_of[task.task_id]
-                self._remaining_in_vertex[vertex_name] -= 1
-                self._available.update(result.output_sizes)
-                self._dispatch_ready()
-            else:
-                self._failures += 1
-                if self._attempts[task.task_id] <= self.max_retries:
-                    self._submit(task)
-                else:
-                    self._diagnostics.append(
-                        f"task {task.task_id} failed: {outcome.error!r}"
-                    )
-                    self._failed = True
-            reusable = (
-                self.reuse_containers
-                and container.state is ContainerState.COMPLETED
-                and self.cluster.node(container.node_id).alive
-                and not self._failed
-                and bool(self._queue)
-            )
-            if reusable:
-                # Tez's signature optimisation: the warm container takes
-                # the next queued task instead of going back to YARN.
-                # Surplus outstanding requests simply find an empty queue
-                # on allocation and release immediately.
-                self.containers_reused += 1
-                continue
-            self.rm.release_container(container)
-            self._running -= 1
-            self._check_done()
-            return
-
-    def _check_done(self) -> None:
-        if self._done.triggered:
-            return
-        if self._failed and self._running == 0:
-            self._done.succeed()
-            return
-        total = sum(v.parallelism for v in self.dag.vertices.values())
-        if len(self._completed_tasks) == total and self._running == 0:
-            self._done.succeed()
+    def _on_attempt_success(self, attempt: TaskAttempt, result) -> None:
+        # Un-gate the downstream vertex before the core re-scans the
+        # ready set: scatter-gather barriers lift exactly when the last
+        # task of the upstream vertex completes.
+        vertex_name = self._vertex_of[attempt.task.task_id]
+        self._remaining_in_vertex[vertex_name] -= 1

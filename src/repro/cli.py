@@ -130,6 +130,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_workflow_arguments(explain)
     explain.add_argument("task_id", help="task to explain (e.g. 'join')")
+    experiments = subparsers.add_parser(
+        "experiments",
+        add_help=False,
+        help="regenerate the paper's tables/figures (forwards to "
+        "python -m repro.experiments; e.g. 'experiments fig4 --quick' "
+        "or 'experiments fig4 --concurrent')",
+    )
+    experiments.add_argument("experiment_args", nargs=argparse.REMAINDER)
     bench = subparsers.add_parser(
         "bench",
         help="run the kernel/locality/scheduler/end-to-end benchmark "
@@ -309,6 +317,10 @@ def main(argv: Optional[list[str]] = None) -> int:
         return report_command(args)
     if args.command == "explain":
         return explain_command(args)
+    if args.command == "experiments":
+        from repro.experiments.__main__ import main as experiments_main
+
+        return experiments_main(args.experiment_args)
     if args.command == "bench":
         from repro.perf.bench import run_bench_command
 

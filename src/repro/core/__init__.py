@@ -3,6 +3,15 @@
 from repro.core.am import HiWayApplicationMaster, WorkflowResult
 from repro.core.client import HiWay
 from repro.core.config import HiWayConfig
+from repro.core.engine import (
+    AttemptState,
+    ExecutionBackend,
+    ExecutionCore,
+    ExecutionResult,
+    ReadySetTracker,
+    RetryPolicy,
+    TaskAttempt,
+)
 from repro.core.execution import TaskResult, run_task_in_container
 from repro.core.timeline import TimelineBuilder, render_timeline
 from repro.core.provenance import (
@@ -26,6 +35,13 @@ __all__ = [
     "HiWayConfig",
     "HiWayApplicationMaster",
     "WorkflowResult",
+    "ExecutionResult",
+    "ExecutionCore",
+    "ExecutionBackend",
+    "AttemptState",
+    "TaskAttempt",
+    "ReadySetTracker",
+    "RetryPolicy",
     "TaskResult",
     "run_task_in_container",
     "render_timeline",

@@ -11,67 +11,154 @@ components of Figure 1:
 * the **Provenance Manager** hook-ups: every workflow/task/file event is
   recorded (Sec. 3.5).
 
-Failed tasks are re-tried on different compute nodes up to a configured
-number of attempts (Sec. 3.1).
+The task lifecycle itself — ready-set tracking, attempt accounting,
+retry-on-another-node (Sec. 3.1), completion and deadlock detection —
+lives in the shared :class:`~repro.core.engine.ExecutionCore`; this
+module contributes the YARN-specific
+:class:`~repro.core.engine.ExecutionBackend` (late-binding container
+requests) and the Hi-WAY policy hooks around it.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Optional
 
 from repro.cluster.cluster import Cluster
 from repro.core.config import HiWayConfig
+from repro.core.engine import (
+    ExecutionBackend,
+    ExecutionCore,
+    ReadySetTracker,
+    RetryPolicy,
+    TaskAttempt,
+    WorkflowResult,
+)
 from repro.core.execution import TaskResult, run_task_in_container
 from repro.core.provenance.manager import ProvenanceManager
 from repro.core.schedulers import SchedulerContext, WorkflowScheduler, make_scheduler
 from repro.errors import WorkflowError
-from repro.obs.events import (
-    FileStaged,
-    TaskAttemptFinished,
-    TaskDispatched,
-    TaskRetried,
-    WorkflowFinished,
-    WorkflowStarted,
-)
+from repro.obs.events import FileStaged
 from repro.hdfs.filesystem import HdfsClient
 from repro.tools.profile import ToolRegistry
 from repro.workflow.model import TaskSource, TaskSpec
 from repro.yarn.records import ContainerResource
 from repro.yarn.resourcemanager import ResourceManager
 
-__all__ = ["WorkflowResult", "HiWayApplicationMaster"]
+__all__ = ["WorkflowResult", "YarnExecutionBackend", "HiWayApplicationMaster"]
 
 
-@dataclass
-class WorkflowResult:
-    """Terminal report of one workflow execution."""
+class YarnExecutionBackend(ExecutionBackend):
+    """ExecutionBackend: late-binding container requests on sim-YARN.
 
-    workflow_id: str
-    name: str
-    scheduler: str
-    success: bool
-    started_at: float
-    finished_at: float
-    tasks_completed: int
-    task_failures: int
-    output_files: dict[str, float] = field(default_factory=dict)
-    diagnostics: list[str] = field(default_factory=list)
+    Every submitted attempt puts one container request in flight; when
+    the RM allocates, the workflow scheduler late-binds whichever queued
+    task suits the allocated node (Sec. 3.4) — unless adaptive container
+    sizing pinned the request to the task it was tailored for.
+    """
 
-    @property
-    def runtime_seconds(self) -> float:
-        return self.finished_at - self.started_at
+    engine = "hiway"
 
+    def __init__(self, am: "HiWayApplicationMaster"):
+        self.am = am
 
-@dataclass
-class _TaskState:
-    """AM-side bookkeeping for one task."""
+    # -- protocol ----------------------------------------------------------------
 
-    task: TaskSpec
-    attempts: int = 0
-    excluded_nodes: set[str] = field(default_factory=set)
-    dispatched: bool = False
-    completed: bool = False
+    def submit(self, attempt: TaskAttempt) -> None:
+        am = self.am
+        task = attempt.task
+        resource = am._resource_for(task)
+        if not self._fits_somewhere(resource):
+            self.core.fail(
+                f"task {task.task_id}: container {resource} fits no node"
+            )
+            self.core.check_done()
+            return
+        bound_task = None
+        if am.config.adaptive_container_sizing:
+            # A custom-tailored container only suits the task it was
+            # sized for, so the usual late binding at allocation time is
+            # replaced by a fixed request-to-task pairing.
+            bound_task = task
+        else:
+            am.scheduler.enqueue(task, frozenset(attempt.excluded_nodes))
+        placement = am.scheduler.placement_for(task)
+        request = am.rm.request_container(
+            am._app,
+            resource,
+            preferred_node=placement,
+            strict=placement is not None,
+        )
+        am.env.process(self._allocation_chain(request, resource, bound_task))
+
+    def live_nodes(self) -> set[str]:
+        return {
+            node.node_id for node in self.am.cluster.workers if node.alive
+        }
+
+    def quiescent(self) -> bool:
+        return self.am.scheduler.pending_count() == 0
+
+    # -- container lifecycle -----------------------------------------------------
+
+    def _fits_somewhere(self, resource: ContainerResource) -> bool:
+        return any(
+            resource.vcores <= node.spec.cores
+            and resource.memory_mb <= node.spec.memory_mb
+            for node in self.am.cluster.workers
+            if node.alive
+        )
+
+    def _allocation_chain(self, request, resource: ContainerResource, bound_task=None):
+        """Wait for a container, bind a task to it, run it, react."""
+        am = self.am
+        core = self.core
+        container = yield request
+        if core.workflow_failed:
+            am.rm.release_container(container)
+            return
+        am._charge(am.config.am_work_per_decision, "am-schedule")
+        if bound_task is not None:
+            task = bound_task
+        else:
+            task = am.scheduler.select_task(container.node_id)
+        if task is None:
+            # Nothing eligible for this node (e.g. all waiting tasks have
+            # excluded it after failures): give the container back and ask
+            # for a replacement so no queued task loses its request. The
+            # replacement waits one heartbeat cycle; an immediate re-ask
+            # could be served by the very same node within the same
+            # simulated instant, spinning forever.
+            am.rm.release_container(container)
+            if am.scheduler.pending_count() > 0:
+                yield am.env.timeout(1.0)
+                replacement = am.rm.request_container(am._app, resource)
+                am.env.process(self._allocation_chain(replacement, resource))
+            core.check_done()
+            return
+        attempt = core.attempt_for(task.task_id)
+        core.attempt_running(attempt, container.node_id)
+        watcher = am.rm.node_managers[container.node_id].launch(
+            container,
+            run_task_in_container(
+                am.env, am.cluster, am.hdfs, am.tools, task, container
+            ),
+        )
+        outcome = yield watcher
+        am.rm.release_container(container)
+        if outcome.success:
+            result = outcome.value
+            core.attempt_finished(
+                attempt,
+                container.node_id,
+                success=True,
+                makespan_seconds=result.makespan_seconds,
+                output_sizes=result.output_sizes,
+                value=result,
+            )
+        else:
+            core.attempt_finished(
+                attempt, container.node_id, success=False, error=outcome.error
+            )
 
 
 class HiWayApplicationMaster:
@@ -124,20 +211,24 @@ class HiWayApplicationMaster:
             am_node_id = cluster.masters[-1].node_id if cluster.masters else None
         self._am_host = cluster.node(am_node_id) if am_node_id else None
 
-        self._states: dict[str, _TaskState] = {}
-        self._available: set[str] = set()
-        self._internal_outputs: set[str] = set()
-        #: Chains waiting for the RM to allocate a container.
-        self._awaiting = 0
-        #: Chains currently holding a container (task running).
-        self._running = 0
-        self._completed = 0
-        self._failures = 0
-        self._done = self.env.event()
-        self._diagnostics: list[str] = []
-        self._workflow_failed = False
+        self.backend = YarnExecutionBackend(self)
+        self.core = ExecutionCore(
+            self.env,
+            self.backend,
+            bus=self.bus,
+            tracker=ReadySetTracker(
+                storage_exists=hdfs.exists, track_internal_outputs=True
+            ),
+            retry=RetryPolicy(max_retries=self.config.max_retries),
+            name=self.name,
+            fail_mode="drain",
+            on_success=self._on_attempt_success,
+            on_failure=self._on_attempt_failure,
+            discover=self._discover_tasks,
+            more_tasks_expected=lambda: not self.source.is_done(),
+            result_cls=WorkflowResult,
+        )
         self._app = None
-        self._workflow_id: Optional[str] = None
         self._heartbeat_flow = None
 
     # -- small helpers -----------------------------------------------------------
@@ -158,32 +249,17 @@ class HiWayApplicationMaster:
             memory_mb=self.config.container_memory_mb,
         )
 
-    def _is_ready(self, state: _TaskState) -> bool:
-        # A file is available once produced by an earlier task of THIS
-        # run, or — for files no task of this workflow produces — when it
-        # already exists in storage (covers inputs that iterative
-        # languages discover after workflow onset). Files a task of this
-        # run will produce never count as available beforehand, even if a
-        # previous execution left a stale copy behind.
-        return all(
-            path in self._available
-            or (path not in self._internal_outputs and self.hdfs.exists(path))
-            for path in state.task.inputs
-        )
-
     # -- main process -------------------------------------------------------------
 
     def run(self):
         """Generator process executing the whole workflow."""
         started = self.env.now
         self._app = self.rm.register_application(self.name)
-        self._workflow_id = self.provenance.allocate_workflow_id()
+        workflow_id = self.provenance.allocate_workflow_id()
         if self.scheduler.context is not None:
             # Stamp decisions with the id now that provenance minted it.
-            self.scheduler.context.workflow_id = self._workflow_id
-        self.bus.emit(WorkflowStarted(
-            workflow_id=self._workflow_id, name=self.name
-        ))
+            self.scheduler.context.workflow_id = workflow_id
+        self.core.begin(workflow_id)
         if self._am_host is not None:
             # Container supervision / RM heartbeat load for the lifetime
             # of the workflow, growing with cluster size (Fig. 6).
@@ -202,7 +278,7 @@ class HiWayApplicationMaster:
         for path in self.source.input_files():
             if not self.hdfs.exists(path):
                 return self._finish(started, error=f"missing input file {path!r}")
-            self._available.add(path)
+            self.core.add_available([path])
 
         if self.scheduler.is_static:
             if not self.source.is_done():
@@ -215,270 +291,51 @@ class HiWayApplicationMaster:
                 )
             self.scheduler.plan(initial)
 
-        self._register_tasks(initial)
-        if not self._states and self.source.is_done():
+        self.core.register(initial)
+        if not self.core.tasks and self.source.is_done():
             return self._finish(started)  # Empty workflow.
-        self._dispatch_ready()
-        if self._deadlocked():
+        self.core.dispatch_ready()
+        if self.core.deadlocked():
             return self._finish(started, error="workflow has no runnable tasks")
 
-        yield self._done
+        yield self.core.done
         return self._finish(started)
 
     def _finish(self, started: float, error: Optional[str] = None) -> WorkflowResult:
         if error is not None:
-            self._diagnostics.append(error)
-            self._workflow_failed = True
-        success = not self._workflow_failed
+            self.core.fail(error)
+        success = not self.core.workflow_failed
         self.scheduler.unbind()
         if self._heartbeat_flow is not None:
             self._heartbeat_flow.cancel()
             self._heartbeat_flow = None
         if self._app is not None:
             self.rm.unregister_application(self._app)
-        finished = self.env.now
-        if self._workflow_id is not None:
-            self.bus.emit(WorkflowFinished(
-                workflow_id=self._workflow_id,
-                name=self.name,
-                runtime_seconds=finished - started,
-                success=success,
-            ))
         outputs: dict[str, float] = {}
         if success:
             for path in self.source.target_files():
                 if self.hdfs.exists(path):
                     outputs[path] = self.hdfs.size_of(path)
-        return WorkflowResult(
-            workflow_id=self._workflow_id or "",
-            name=self.name,
-            scheduler=self.scheduler.name,
-            success=success,
-            started_at=started,
-            finished_at=finished,
-            tasks_completed=self._completed,
-            task_failures=self._failures,
-            output_files=outputs,
-            diagnostics=list(self._diagnostics),
+        return self.core.finalize(
+            started, scheduler=self.scheduler.name, output_files=outputs
         )
 
-    # -- driver logic ---------------------------------------------------------------
+    # -- execution-core hooks -------------------------------------------------------
 
-    def _register_tasks(self, tasks: list[TaskSpec]) -> None:
-        for task in tasks:
-            if task.task_id in self._states:
-                raise WorkflowError(f"duplicate task id {task.task_id!r}")
-            self._states[task.task_id] = _TaskState(task)
-            self._internal_outputs.update(task.outputs)
-
-    def _dispatch_ready(self) -> None:
-        """Enqueue every undispatched task whose inputs are available."""
-        for state in self._states.values():
-            if state.dispatched or state.completed:
-                continue
-            if not self._is_ready(state):
-                continue
-            state.dispatched = True
-            if self.bus.wants(TaskDispatched):
-                self.bus.emit(TaskDispatched(
-                    workflow_id=self._workflow_id or "",
-                    task_id=state.task.task_id,
-                    tool=state.task.tool,
-                    attempt=state.attempts + 1,
-                ))
-            self._submit_attempt(state)
-
-    def _submit_attempt(self, state: _TaskState) -> None:
-        """Hand one attempt of ``state.task`` to the scheduler + RM."""
-        resource = self._resource_for(state.task)
-        if not self._fits_somewhere(resource):
-            self._diagnostics.append(
-                f"task {state.task.task_id}: container {resource} fits no node"
-            )
-            self._workflow_failed = True
-            self._check_done()
-            return
-        bound_task = None
-        if self.config.adaptive_container_sizing:
-            # A custom-tailored container only suits the task it was
-            # sized for, so the usual late binding at allocation time is
-            # replaced by a fixed request-to-task pairing.
-            bound_task = state.task
-        else:
-            self.scheduler.enqueue(state.task, frozenset(state.excluded_nodes))
-        placement = self.scheduler.placement_for(state.task)
-        request = self.rm.request_container(
-            self._app,
-            resource,
-            preferred_node=placement,
-            strict=placement is not None,
-        )
-        self._awaiting += 1
-        self.env.process(self._allocation_chain(request, resource, bound_task))
-
-    def _fits_somewhere(self, resource: ContainerResource) -> bool:
-        return any(
-            resource.vcores <= node.spec.cores
-            and resource.memory_mb <= node.spec.memory_mb
-            for node in self.cluster.workers
-            if node.alive
-        )
-
-    def _allocation_chain(self, request, resource: ContainerResource, bound_task=None):
-        """Wait for a container, bind a task to it, run it, react."""
-        container = yield request
-        self._awaiting -= 1
-        if self._workflow_failed:
-            self.rm.release_container(container)
-            return
-        self._charge(self.config.am_work_per_decision, "am-schedule")
-        if bound_task is not None:
-            task = bound_task
-        else:
-            task = self.scheduler.select_task(container.node_id)
-        if task is None:
-            # Nothing eligible for this node (e.g. all waiting tasks have
-            # excluded it after failures): give the container back and ask
-            # for a replacement so no queued task loses its request. The
-            # replacement waits one heartbeat cycle; an immediate re-ask
-            # could be served by the very same node within the same
-            # simulated instant, spinning forever.
-            self.rm.release_container(container)
-            if self.scheduler.pending_count() > 0:
-                yield self.env.timeout(1.0)
-                replacement = self.rm.request_container(self._app, resource)
-                self._awaiting += 1
-                self.env.process(self._allocation_chain(replacement, resource))
-            self._check_done()
-            return
-        self._running += 1
-        state = self._states[task.task_id]
-        state.attempts += 1
-        watcher = self.rm.node_managers[container.node_id].launch(
-            container,
-            run_task_in_container(
-                self.env, self.cluster, self.hdfs, self.tools, task, container
-            ),
-        )
-        outcome = yield watcher
-        self.rm.release_container(container)
-        self._running -= 1
-        if self._workflow_failed:
-            self._check_done()
-            return
-        if outcome.success:
-            self._on_task_success(state, outcome.value)
-        else:
-            self._on_task_failure(state, container.node_id, outcome.error)
-        self._check_done()
-
-    def _on_task_success(self, state: _TaskState, result: TaskResult) -> None:
-        task = state.task
-        state.completed = True
-        self._completed += 1
-        self.bus.emit(TaskAttemptFinished(
-            workflow_id=self._workflow_id,
-            task=task,
-            node_id=result.node_id,
-            makespan_seconds=result.makespan_seconds,
-            output_sizes=result.output_sizes,
-            success=True,
-            attempt=state.attempts,
-        ))
+    def _on_attempt_success(self, attempt: TaskAttempt, result: TaskResult) -> None:
+        task = attempt.task
         for report in result.input_reports + result.output_reports:
             self.bus.emit(FileStaged(
-                workflow_id=self._workflow_id, task=task, report=report
+                workflow_id=self.core.workflow_id, task=task, report=report
             ))
             self._charge(self.config.am_work_per_event, "am-provenance")
         self._charge(self.config.am_work_per_event, "am-provenance")
         self.scheduler.on_task_finished(
             task, result.node_id, result.makespan_seconds, success=True
         )
-        self._available.update(result.output_sizes)
-        discovered = self.source.on_task_completed(task, result.output_sizes)
-        if discovered:
-            self._register_tasks(discovered)
-        self._dispatch_ready()
 
-    def _on_task_failure(self, state: _TaskState, node_id: str, error) -> None:
-        task = state.task
-        self._failures += 1
-        self.bus.emit(TaskAttemptFinished(
-            workflow_id=self._workflow_id,
-            task=task,
-            node_id=node_id,
-            makespan_seconds=0.0,
-            output_sizes={},
-            success=False,
-            attempt=state.attempts,
-            stderr=repr(error),
-        ))
-        self.scheduler.on_task_finished(task, node_id, 0.0, success=False)
-        if state.attempts <= self.config.max_retries and not self._workflow_failed:
-            # Re-try on a different compute node (Sec. 3.1).
-            state.excluded_nodes.add(node_id)
-            if self.bus.wants(TaskRetried):
-                self.bus.emit(TaskRetried(
-                    workflow_id=self._workflow_id or "",
-                    task_id=task.task_id,
-                    attempt=state.attempts,
-                    excluded_node=node_id,
-                ))
-            alive = {
-                node.node_id for node in self.cluster.workers if node.alive
-            }
-            if alive <= state.excluded_nodes:
-                state.excluded_nodes.clear()  # every live node tried; start over
-            self._submit_attempt(state)
-        else:
-            self._diagnostics.append(
-                f"task {task.task_id} ({task.tool}) failed "
-                f"{state.attempts} time(s): {error!r}"
-            )
-            self._workflow_failed = True
+    def _on_attempt_failure(self, attempt: TaskAttempt, node_id: str, error) -> None:
+        self.scheduler.on_task_finished(attempt.task, node_id, 0.0, success=False)
 
-    def _deadlocked(self) -> bool:
-        """True when nothing runs, nothing can start, yet work remains."""
-        if self._running > 0 or self._awaiting > 0 or self._workflow_failed:
-            return False
-        unfinished = [s for s in self._states.values() if not s.completed]
-        if not unfinished:
-            return False
-        return all(not self._is_ready(s) for s in unfinished)
-
-    def _check_done(self) -> None:
-        if self._done.triggered:
-            return
-        if self._workflow_failed and self._running == 0:
-            self._done.succeed()
-            return
-        all_completed = self._states and all(
-            state.completed for state in self._states.values()
-        )
-        if (
-            all_completed
-            and self._running == 0
-            and self._awaiting == 0
-            and self.source.is_done()
-            and self.scheduler.pending_count() == 0
-        ):
-            self._done.succeed()
-        elif (
-            all_completed
-            and self._running == 0
-            and self._awaiting == 0
-            and not self.source.is_done()
-        ):
-            # The language frontend claims more tasks will come but emitted
-            # none on the last completion: the evaluation is stuck.
-            self._diagnostics.append(
-                "workflow source stalled without emitting further tasks"
-            )
-            self._workflow_failed = True
-            self._done.succeed()
-        elif self._deadlocked():
-            self._diagnostics.append(
-                "workflow stalled: remaining tasks have unsatisfiable inputs"
-            )
-            self._workflow_failed = True
-            self._done.succeed()
+    def _discover_tasks(self, attempt: TaskAttempt, output_sizes: dict[str, float]):
+        return self.source.on_task_completed(attempt.task, output_sizes)

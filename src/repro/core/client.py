@@ -9,10 +9,11 @@ defaults so examples and tests stay short.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, Sequence
 
 from repro.cluster.cluster import Cluster
 from repro.core.am import HiWayApplicationMaster, WorkflowResult
+from repro.errors import WorkflowError
 from repro.core.config import HiWayConfig
 from repro.core.provenance.manager import ProvenanceManager
 from repro.core.provenance.stores import ProvenanceStore
@@ -110,6 +111,56 @@ class HiWay:
         process = self.submit(source, scheduler=scheduler, name=name, config=config)
         self.env.run(until=process)
         return process.value
+
+    def submit_many(
+        self,
+        sources: Sequence[TaskSource],
+        scheduler: Optional[WorkflowScheduler | str] = None,
+        names: Optional[Sequence[Optional[str]]] = None,
+        config: Optional[HiWayConfig] = None,
+    ) -> list[Process]:
+        """Spawn one AM per source against this installation's single RM.
+
+        ``scheduler`` must be a policy *name* (or ``None``) when more
+        than one source is given: a scheduler instance binds to exactly
+        one AM, so sharing one across concurrent workflows would cross
+        their queues.
+        """
+        if isinstance(scheduler, WorkflowScheduler) and len(sources) > 1:
+            raise WorkflowError(
+                "pass a scheduler name, not an instance, when submitting "
+                "multiple workflows: one scheduler binds to one AM"
+            )
+        if names is not None and len(names) != len(sources):
+            raise WorkflowError(
+                f"got {len(names)} names for {len(sources)} sources"
+            )
+        names = list(names) if names is not None else [None] * len(sources)
+        return [
+            self.submit(source, scheduler=scheduler, name=name, config=config)
+            for source, name in zip(sources, names)
+        ]
+
+    def run_many(
+        self,
+        sources: Sequence[TaskSource],
+        scheduler: Optional[WorkflowScheduler | str] = None,
+        names: Optional[Sequence[Optional[str]]] = None,
+        config: Optional[HiWayConfig] = None,
+    ) -> list[WorkflowResult]:
+        """Run several workflows concurrently on one RM; results in order.
+
+        Every AM gets its own workflow id (threaded through bus events,
+        the metrics registry, the decision audit and the critical-path
+        analyzer), so per-workflow observability survives the
+        multi-tenancy (Sec. 3.1: "many independent AMs").
+        """
+        processes = self.submit_many(
+            sources, scheduler=scheduler, names=names, config=config
+        )
+        if processes:
+            self.env.run(until=self.env.all_of(processes))
+        return [process.value for process in processes]
 
     # -- convenience used by workloads and examples -----------------------------
 

@@ -1,0 +1,55 @@
+"""The substrate-facing half of the execution core.
+
+An :class:`ExecutionBackend` turns an abstract "run this task attempt"
+into whatever its substrate needs — a late-binding YARN container
+request (Hi-WAY), a vertex-grouped FIFO container pool with reuse
+(Tez), or a Slurm batch job against the shared master queue (CloudMan).
+The backend owns all simulation processes touching the substrate and
+reports attempt outcomes back via
+:meth:`~repro.core.engine.core.ExecutionCore.attempt_running` /
+:meth:`~repro.core.engine.core.ExecutionCore.attempt_finished`.
+"""
+
+from __future__ import annotations
+
+from repro.core.engine.fsm import TaskAttempt
+
+__all__ = ["ExecutionBackend"]
+
+
+class ExecutionBackend:
+    """Protocol base for execution substrates.
+
+    The :class:`~repro.core.engine.core.ExecutionCore` sets ``.core``
+    on its backend at construction, so implementations can report
+    outcomes without a circular constructor.
+    """
+
+    #: Engine label stamped onto results and events.
+    engine: str = "generic"
+
+    #: Back-reference to the owning core (set by ExecutionCore).
+    core = None
+
+    def submit(self, attempt: TaskAttempt) -> None:
+        """Request execution of one attempt of ``attempt.task``.
+
+        Called for first dispatches and for retries alike; the backend
+        must eventually call ``core.attempt_running`` and then
+        ``core.attempt_finished`` for the attempt (unless the workflow
+        fails first).
+        """
+        raise NotImplementedError
+
+    def live_nodes(self) -> set[str]:
+        """Ids of compute nodes currently able to run attempts."""
+        return set()
+
+    def quiescent(self) -> bool:
+        """True when the backend holds no deferred work of its own.
+
+        Consulted before declaring success: Hi-WAY has queued-but-unbound
+        scheduler entries, Tez has warm container chains, CloudMan has
+        nothing — the default.
+        """
+        return True

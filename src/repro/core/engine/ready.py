@@ -1,0 +1,79 @@
+"""Ready-set tracking: which registered tasks may dispatch right now.
+
+Replaces the ad-hoc ``_is_ready`` / ``_dispatch_ready`` scans the three
+engines each reimplemented. A file counts as available once a task of
+this run produced it, or — for files no task of this run produces —
+when it already exists in the engine's storage (HDFS for Hi-WAY/Tez,
+the EBS volume for CloudMan). Files a task of this run *will* produce
+never count as available beforehand, even if a previous execution left
+a stale copy behind (``track_internal_outputs``); Tez and CloudMan keep
+the simpler storage-only rule their originals used.
+
+The scan preserves registration order, which is what makes dispatch —
+and therefore every downstream timing decision — deterministic.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Optional
+
+from repro.core.engine.fsm import TaskAttempt
+from repro.workflow.model import TaskSpec
+
+__all__ = ["ReadySetTracker"]
+
+
+class ReadySetTracker:
+    """Tracks produced files and yields dispatchable task attempts."""
+
+    def __init__(
+        self,
+        storage_exists: Optional[Callable[[str], bool]] = None,
+        track_internal_outputs: bool = False,
+        gate: Optional[Callable[[TaskSpec], bool]] = None,
+    ):
+        #: Engine storage probe (e.g. ``hdfs.exists``); re-checked on
+        #: every scan so files appearing mid-run are picked up.
+        self._storage_exists = storage_exists
+        #: Extra engine-specific readiness gate (Tez vertex barriers).
+        self._gate = gate
+        self._internal: Optional[set[str]] = (
+            set() if track_internal_outputs else None
+        )
+        self._available: set[str] = set()
+        #: Undispatched attempts, in registration order.
+        self._pending: dict[str, TaskAttempt] = {}
+
+    def register(self, attempt: TaskAttempt) -> None:
+        """Track ``attempt`` until it is taken by :meth:`take_ready`."""
+        self._pending[attempt.task.task_id] = attempt
+        if self._internal is not None:
+            self._internal.update(attempt.task.outputs)
+
+    def add_available(self, paths: Iterable[str]) -> None:
+        """Mark files as produced by this run."""
+        self._available.update(paths)
+
+    def is_ready(self, attempt: TaskAttempt) -> bool:
+        """True when every input of ``attempt`` is satisfiable now."""
+        if self._gate is not None and not self._gate(attempt.task):
+            return False
+        return all(
+            path in self._available
+            or (
+                (self._internal is None or path not in self._internal)
+                and self._storage_exists is not None
+                and self._storage_exists(path)
+            )
+            for path in attempt.task.inputs
+        )
+
+    def take_ready(self) -> list[TaskAttempt]:
+        """Remove and return every pending attempt that is ready."""
+        ready = [a for a in self._pending.values() if self.is_ready(a)]
+        for attempt in ready:
+            del self._pending[attempt.task.task_id]
+        return ready
+
+    def pending_count(self) -> int:
+        return len(self._pending)

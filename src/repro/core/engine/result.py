@@ -1,0 +1,58 @@
+"""Unified terminal report of one workflow execution, on any engine.
+
+:class:`ExecutionResult` supersedes the per-engine result types; the
+old names remain as thin aliases so callers (and the paper-facing
+experiment harnesses) keep working unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["ExecutionResult", "WorkflowResult", "TezResult", "CloudManResult"]
+
+
+@dataclass
+class ExecutionResult:
+    """Terminal report of one workflow execution."""
+
+    workflow_id: str = ""
+    name: str = "workflow"
+    scheduler: str = ""
+    success: bool = False
+    started_at: float = 0.0
+    finished_at: float = 0.0
+    tasks_completed: int = 0
+    task_failures: int = 0
+    output_files: dict[str, float] = field(default_factory=dict)
+    diagnostics: list[str] = field(default_factory=list)
+    engine: str = "core"
+
+    @property
+    def runtime_seconds(self) -> float:
+        return self.finished_at - self.started_at
+
+
+@dataclass
+class WorkflowResult(ExecutionResult):
+    """Terminal report of one Hi-WAY workflow execution."""
+
+    engine: str = "hiway"
+
+
+@dataclass
+class TezResult(ExecutionResult):
+    """Terminal report of one Tez DAG execution."""
+
+    engine: str = "tez"
+
+    @property
+    def dag_name(self) -> str:
+        return self.name
+
+
+@dataclass
+class CloudManResult(ExecutionResult):
+    """Terminal report of one CloudMan workflow execution."""
+
+    engine: str = "cloudman"

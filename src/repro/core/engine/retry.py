@@ -1,0 +1,58 @@
+"""Pluggable retry policy: max attempts and node exclusion (Sec. 3.1).
+
+Hi-WAY re-executes failed tasks on *different* compute nodes by
+excluding every node an attempt already failed on. The Tez baseline
+retries without exclusion (its FIFO queue is locality-blind anyway) and
+CloudMan does not retry at all — all three are configurations of the
+same :class:`RetryPolicy`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.core.engine.fsm import TaskAttempt
+
+__all__ = ["RetryPolicy"]
+
+
+@dataclass
+class RetryPolicy:
+    """How (and whether) a failed task attempt is re-executed."""
+
+    #: Re-executions allowed after the first attempt (0 = never retry).
+    max_retries: int = 2
+    #: Avoid nodes the task already failed on when re-submitting.
+    exclude_failed_nodes: bool = True
+
+    def should_retry(self, attempt: TaskAttempt) -> bool:
+        """True while ``attempt`` still has re-executions left."""
+        return attempt.attempts <= self.max_retries
+
+    def record_failure(self, attempt: TaskAttempt, node_id: str) -> bool:
+        """Exclude ``node_id`` for future attempts; True when excluded."""
+        if not self.exclude_failed_nodes:
+            return False
+        attempt.excluded_nodes.add(node_id)
+        return True
+
+    def reset_if_exhausted(
+        self, attempt: TaskAttempt, live_nodes: Iterable[str], failing_node: str
+    ) -> None:
+        """Re-open the node set once every live node has been tried.
+
+        The exclusion set only resets when no live node remains; the
+        node that *just* failed the attempt stays excluded as long as
+        any alternative exists, so the retry cannot land right back on
+        it (even when another node comes back alive in the same tick).
+        With a single live node there is no alternative and the reset
+        must clear everything, or the task could never run again.
+        """
+        if not self.exclude_failed_nodes:
+            return
+        alive = set(live_nodes)
+        if alive <= attempt.excluded_nodes:
+            attempt.excluded_nodes.clear()
+            if alive - {failing_node}:
+                attempt.excluded_nodes.add(failing_node)

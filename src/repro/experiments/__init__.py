@@ -1,7 +1,12 @@
 """Reproductions of every table and figure in the paper's evaluation."""
 
 from repro.experiments.common import ExperimentTable, mean, median, minutes, std
-from repro.experiments.fig4 import Fig4Config, run_fig4
+from repro.experiments.fig4 import (
+    Fig4ConcurrentConfig,
+    Fig4Config,
+    run_fig4,
+    run_fig4_concurrent,
+)
 from repro.experiments.fig6 import Fig6Config, run_fig6
 from repro.experiments.fig8 import Fig8Config, run_fig8
 from repro.experiments.fig9 import Fig9Config, run_fig9
@@ -17,6 +22,8 @@ __all__ = [
     "run_table1",
     "run_fig4",
     "Fig4Config",
+    "run_fig4_concurrent",
+    "Fig4ConcurrentConfig",
     "run_table2",
     "Table2Config",
     "run_fig6",
@@ -26,6 +33,7 @@ __all__ = [
     "run_fig9",
     "Fig9Config",
     "EXPERIMENTS",
+    "CONCURRENT_EXPERIMENTS",
 ]
 
 #: experiment id -> callable(quick: bool, jobs: int | None) -> ExperimentTable
@@ -39,4 +47,10 @@ EXPERIMENTS = {
     "fig6": lambda quick=False, jobs=1: run_fig6(quick=quick, jobs=jobs),
     "fig8": lambda quick=False, jobs=1: run_fig8(quick=quick, jobs=jobs),
     "fig9": lambda quick=False, jobs=1: run_fig9(quick=quick, jobs=jobs),
+}
+
+#: Experiments with a ``--concurrent`` (multi-workflow, one shared RM)
+#: variant; same call signature as :data:`EXPERIMENTS`.
+CONCURRENT_EXPERIMENTS = {
+    "fig4": lambda quick=False, jobs=1: run_fig4_concurrent(quick=quick, jobs=jobs),
 }

@@ -15,7 +15,7 @@ import argparse
 import sys
 import time
 
-from repro.experiments import EXPERIMENTS
+from repro.experiments import CONCURRENT_EXPERIMENTS, EXPERIMENTS
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -45,12 +45,27 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="shorthand for --jobs <all cores>",
     )
+    parser.add_argument(
+        "--concurrent",
+        action="store_true",
+        help=(
+            "run the multi-workflow variant (N concurrent AMs sharing one "
+            f"RM); available for: {', '.join(sorted(CONCURRENT_EXPERIMENTS))}"
+        ),
+    )
     args = parser.parse_args(argv)
     jobs = None if args.parallel else args.jobs
-    names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    registry = CONCURRENT_EXPERIMENTS if args.concurrent else EXPERIMENTS
+    names = sorted(registry) if args.experiment == "all" else [args.experiment]
+    missing = [name for name in names if name not in registry]
+    if missing:
+        parser.error(
+            f"no --concurrent variant for: {', '.join(missing)} "
+            f"(have: {', '.join(sorted(CONCURRENT_EXPERIMENTS))})"
+        )
     for name in names:
         started = time.time()
-        table = EXPERIMENTS[name](quick=args.quick, jobs=jobs)
+        table = registry[name](quick=args.quick, jobs=jobs)
         print(table.format())
         print(f"(regenerated in {time.time() - started:.1f}s)\n")
     return 0

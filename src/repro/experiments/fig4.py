@@ -25,7 +25,12 @@ from repro.tools import default_registry
 from repro.workloads import SNV_TOOLS, sample_read_files, snv_cuneiform, snv_graph
 from repro.yarn import ContainerResource, ResourceManager
 
-__all__ = ["Fig4Config", "run_fig4"]
+__all__ = [
+    "Fig4Config",
+    "run_fig4",
+    "Fig4ConcurrentConfig",
+    "run_fig4_concurrent",
+]
 
 
 @dataclass(frozen=True)
@@ -172,5 +177,141 @@ def run_fig4(
             mean(hiway_runs), std(hiway_runs),
             mean(tez_runs), std(tez_runs),
             mean(tez_runs) / mean(hiway_runs),
+        )
+    return table
+
+
+# -- concurrent multi-workflow variant (AM multi-tenancy, Sec. 3.1) ---------------
+
+
+@dataclass(frozen=True)
+class Fig4ConcurrentConfig:
+    """Parameters of the multi-tenant Figure 4 variant.
+
+    One YARN RM, one HDFS, N Hi-WAY AMs at once — the paper's "many
+    independent AMs sharing one installation" deployment. The cluster is
+    sized for the *largest* N so every point contends for the same
+    resource pool.
+    """
+
+    node_count: int = 24
+    containers: int = 288
+    samples_per_workflow: int = 24
+    files_per_sample: int = 8
+    mb_per_file: float = 1024.0
+    backbone_mb_s: float = 100.0
+    workflow_counts: tuple[int, ...] = (1, 2, 4)
+
+    @classmethod
+    def quick(cls) -> "Fig4ConcurrentConfig":
+        return cls(
+            node_count=12,
+            containers=48,
+            samples_per_workflow=6,
+            files_per_sample=4,
+            mb_per_file=128.0,
+            backbone_mb_s=15.0,
+        )
+
+
+def _run_hiway_concurrent(
+    config: Fig4ConcurrentConfig, n_workflows: int, seed: int
+) -> tuple[float, list[float]]:
+    """One grid point: N concurrent SNV workflows on one installation.
+
+    Returns ``(makespan_seconds, per-workflow runtimes)``. Each workflow
+    gets its own input prefix (``/wf-K/...``) and source name
+    (``snv-K`` → outputs under ``/cf/snv-K/``), so the N workflows share
+    HDFS without colliding.
+    """
+    env = Environment()
+    cluster = Cluster(
+        env,
+        ClusterSpec(
+            worker_spec=XEON_E5_2620,
+            worker_count=config.node_count,
+            master_count=1,
+            backbone_mb_s=config.backbone_mb_s,
+        ),
+    )
+    hdfs = HdfsClient(cluster, seed=seed)
+    rm = ResourceManager(
+        env, cluster, max_containers_per_node=config.containers // config.node_count
+    )
+    hiway = HiWay(
+        cluster,
+        hdfs=hdfs,
+        rm=rm,
+        config=HiWayConfig(container_vcores=1, container_memory_mb=1024.0),
+    )
+    hiway.install_everywhere(*SNV_TOOLS)
+    sources = []
+    for k in range(n_workflows):
+        base = sample_read_files(
+            config.samples_per_workflow,
+            files_per_sample=config.files_per_sample,
+            mb_per_file=config.mb_per_file,
+        )
+        inputs = {f"/wf-{k}{path}": size for path, size in base.items()}
+        hiway.stage_inputs(inputs, seed=seed + k)
+        sources.append(CuneiformSource(snv_cuneiform(inputs), name=f"snv-{k}"))
+    started = env.now
+    results = hiway.run_many(sources, scheduler="data-aware")
+    for result in results:
+        assert result.success, result.diagnostics
+    makespan = max(result.finished_at for result in results) - started
+    return makespan, [result.runtime_seconds for result in results]
+
+
+def _fig4_concurrent_unit(
+    config: Fig4ConcurrentConfig, n_workflows: int, seed: int
+) -> tuple[float, list[float]]:
+    """One grid point (picklable for the process-pool runner)."""
+    return _run_hiway_concurrent(config, n_workflows, seed)
+
+
+def run_fig4_concurrent(
+    config: Fig4ConcurrentConfig | None = None,
+    quick: bool = False,
+    jobs: int | None = 1,
+) -> ExperimentTable:
+    """Throughput of N concurrent SNV workflows on one shared RM.
+
+    ``efficiency`` compares each point's makespan to running the same N
+    workflows back-to-back (N x the single-workflow makespan): 1.0 means
+    concurrency was free, >1.0 means the AMs packed the shared cluster
+    better than serial submission would have.
+    """
+    if config is None:
+        config = Fig4ConcurrentConfig.quick() if quick else Fig4ConcurrentConfig()
+    table = ExperimentTable(
+        experiment_id="fig4-concurrent",
+        title="Concurrent SNV workflows sharing one RM (Hi-WAY, data-aware)",
+        columns=[
+            "workflows",
+            "makespan_min",
+            "wf_mean_min", "wf_max_min",
+            "efficiency",
+        ],
+        notes=(
+            f"{config.node_count} Xeon nodes, {config.containers} containers, "
+            f"{config.samples_per_workflow} samples/workflow x "
+            f"{config.files_per_sample} x {config.mb_per_file:.0f} MB, "
+            f"{config.backbone_mb_s:.0f} MB/s switch"
+        ),
+    )
+    params = [(config, n, 0) for n in config.workflow_counts]
+    results = run_grid(_fig4_concurrent_unit, params, jobs=jobs)
+    serial_unit: float | None = None
+    for n_workflows, (makespan, runtimes) in zip(config.workflow_counts, results):
+        if serial_unit is None:
+            # First row anchors the serial baseline; with workflow_counts
+            # starting at 1 (the default) this is the single-workflow run.
+            serial_unit = makespan / n_workflows
+        table.add_row(
+            n_workflows,
+            minutes(makespan),
+            minutes(mean(runtimes)), minutes(max(runtimes)),
+            (n_workflows * serial_unit) / makespan,
         )
     return table

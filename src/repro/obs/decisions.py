@@ -56,26 +56,48 @@ class DecisionAuditor:
     def __len__(self) -> int:
         return len(self.decisions)
 
-    def task_ids(self) -> list[str]:
-        """Distinct task ids with at least one recorded decision."""
+    def workflow_ids(self) -> list[str]:
+        """Distinct workflow ids with at least one recorded decision."""
         seen: dict[str, None] = {}
         for decision in self.decisions:
+            seen.setdefault(decision.workflow_id)
+        return list(seen)
+
+    def task_ids(self, workflow_id: Optional[str] = None) -> list[str]:
+        """Distinct task ids with at least one recorded decision.
+
+        With ``workflow_id`` only that workflow's decisions count —
+        needed once several AMs share one installation (``run_many``).
+        """
+        seen: dict[str, None] = {}
+        for decision in self.decisions:
+            if workflow_id is not None and decision.workflow_id != workflow_id:
+                continue
             seen.setdefault(decision.task_id)
         return list(seen)
 
-    def decisions_for(self, task_id: str) -> list[SchedulingDecision]:
+    def decisions_for(
+        self, task_id: str, workflow_id: Optional[str] = None
+    ) -> list[SchedulingDecision]:
         """All recorded decisions about ``task_id``, in event order."""
-        return [d for d in self.decisions if d.task_id == task_id]
+        return [
+            d
+            for d in self.decisions
+            if d.task_id == task_id
+            and (workflow_id is None or d.workflow_id == workflow_id)
+        ]
 
     # -- rendering ----------------------------------------------------------------
 
-    def explain(self, task_id: str) -> str:
+    def explain(self, task_id: str, workflow_id: Optional[str] = None) -> str:
         """Human-readable account of every decision about ``task_id``.
 
         Names the policy, the chosen node and the full scored candidate
         set; raises ``KeyError`` when the task was never decided on.
+        ``workflow_id`` restricts the account to one concurrent
+        workflow's decisions.
         """
-        decisions = self.decisions_for(task_id)
+        decisions = self.decisions_for(task_id, workflow_id=workflow_id)
         if not decisions:
             raise KeyError(task_id)
         lines: list[str] = []

@@ -267,6 +267,12 @@ class MetricsRegistry:
                               "Planned failure injections executed")
         workflows = self.counter("hiway_workflows_total",
                                  "Workflows finished by outcome", ("outcome",))
+        wf_tasks = self.counter("hiway_workflow_tasks_total",
+                                "Task attempts by workflow and outcome",
+                                ("workflow", "outcome"))
+        wf_runtime = self.gauge("hiway_workflow_runtime_seconds",
+                                "Per-workflow wall-clock runtime",
+                                ("workflow",))
 
         def on_dispatched(event: ev.TaskDispatched) -> None:
             self._dispatch_t[(event.workflow_id, event.task_id)] = event.t
@@ -274,6 +280,9 @@ class MetricsRegistry:
         def on_task(event: ev.TaskAttemptFinished) -> None:
             outcome = "success" if event.success else "failure"
             tasks.labels(outcome=outcome).inc()
+            wf_tasks.labels(
+                workflow=event.workflow_id or "unknown", outcome=outcome
+            ).inc()
             if event.success and event.task is not None:
                 runtimes.labels(tool=event.task.tool).observe(
                     event.makespan_seconds
@@ -328,6 +337,9 @@ class MetricsRegistry:
             workflows.labels(
                 outcome="success" if event.success else "failure"
             ).inc()
+            wf_runtime.labels(
+                workflow=event.workflow_id or "unknown"
+            ).set(event.runtime_seconds)
 
         for event_type, handler in [
             (ev.TaskDispatched, on_dispatched),

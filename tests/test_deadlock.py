@@ -1,0 +1,124 @@
+"""Deadlock detection through the shared execution core (satellite of
+the engine refactor): a workflow whose remaining tasks can never become
+ready must *finish* with a diagnostic naming the stuck tasks — it must
+not hang ``env.run`` forever.
+
+Covered for both the Hi-WAY AM and the Tez baseline, which both detect
+the stall via ``ExecutionCore.deadlocked()``.
+"""
+
+from repro.baselines.tez import TezApplicationMaster
+from repro.baselines.tez.dag import TezDag, Vertex
+from repro.cluster import Cluster, ClusterSpec, M3_LARGE
+from repro.core import HiWay
+from repro.hdfs import HdfsClient
+from repro.sim import Environment
+from repro.tools import default_registry
+from repro.workflow import TaskSpec, TaskSource
+from repro.yarn import ResourceManager
+
+
+class CyclicSource(TaskSource):
+    """One runnable task plus two tasks feeding only each other.
+
+    ``StaticTaskSource`` validates acyclicity upfront, so this source
+    hands the cycle to the AM directly — modelling a language front-end
+    that emits tasks incrementally and cannot see the whole graph.
+    """
+
+    name = "cyclic"
+
+    def initial_tasks(self):
+        return [
+            TaskSpec(tool="sort", inputs=["/in/x"], outputs=["/out/c"],
+                     task_id="runnable"),
+            TaskSpec(tool="sort", inputs=["/cycle/b"], outputs=["/cycle/a"],
+                     task_id="stuck-a"),
+            TaskSpec(tool="sort", inputs=["/cycle/a"], outputs=["/cycle/b"],
+                     task_id="stuck-b"),
+        ]
+
+    def is_done(self):
+        return True
+
+    def input_files(self):
+        return ["/in/x"]
+
+
+def test_hiway_deadlocked_workflow_finishes_with_diagnostic():
+    env = Environment()
+    cluster = Cluster(env, ClusterSpec(worker_spec=M3_LARGE, worker_count=2))
+    hiway = HiWay(cluster)
+    hiway.install_everywhere("sort")
+    hiway.stage_inputs({"/in/x": 16.0})
+    # The deadline here is env.run(until=process) itself terminating:
+    # before detection this would spin the simulation dry and hang the
+    # result retrieval, not return a failed result.
+    result = hiway.run(CyclicSource())
+    assert not result.success
+    assert result.tasks_completed == 1  # the runnable task did execute
+    diagnostic = "\n".join(result.diagnostics)
+    assert "stalled" in diagnostic
+    assert "stuck-a" in diagnostic and "stuck-b" in diagnostic
+    assert "runnable" not in diagnostic
+
+
+class MisdeclaredDag(TezDag):
+    """A DAG whose declared inputs hide a file nobody ever produces."""
+
+    def input_files(self):
+        return [path for path in super().input_files()
+                if path != "/never/made"]
+
+
+def test_tez_deadlocked_dag_finishes_with_diagnostic():
+    env = Environment()
+    cluster = Cluster(env, ClusterSpec(worker_spec=M3_LARGE, worker_count=2))
+    hdfs = HdfsClient(cluster)
+    rm = ResourceManager(env, cluster)
+    tools = default_registry()
+    for node in cluster.all_nodes():
+        node.install(*tools.names())
+    env.run(until=env.process(hdfs.write("/in/x", 16.0, "worker-0")))
+    dag = MisdeclaredDag(name="misdeclared")
+    dag.add_vertex(Vertex("gen", [TaskSpec(
+        tool="sort", inputs=["/in/x"], outputs=["/mid/a"], task_id="gen-0")]))
+    dag.add_vertex(Vertex("stuck", [TaskSpec(
+        tool="cat", inputs=["/mid/a", "/never/made"], outputs=["/out/z"],
+        task_id="stuck-0")]))
+    dag.connect("gen", "stuck")
+    am = TezApplicationMaster(cluster, hdfs, rm, tools, dag)
+    process = env.process(am.run())
+    env.run(until=process)
+    result = process.value
+    assert not result.success
+    assert result.tasks_completed == 1
+    diagnostic = "\n".join(result.diagnostics)
+    assert "stalled" in diagnostic
+    assert "stuck-0" in diagnostic
+
+
+def test_deadlock_diagnostic_truncates_long_task_lists():
+    env = Environment()
+    cluster = Cluster(env, ClusterSpec(worker_spec=M3_LARGE, worker_count=2))
+    hiway = HiWay(cluster)
+    hiway.install_everywhere("sort")
+    hiway.stage_inputs({"/in/x": 16.0})
+
+    class ManyStuck(CyclicSource):
+        def initial_tasks(self):
+            tasks = [TaskSpec(tool="sort", inputs=["/in/x"],
+                              outputs=["/out/c"], task_id="runnable")]
+            for index in range(12):
+                tasks.append(TaskSpec(
+                    tool="sort", inputs=[f"/cycle/{(index + 1) % 12}"],
+                    outputs=[f"/cycle/{index}"], task_id=f"stuck-{index:02d}"))
+            return tasks
+
+    result = hiway.run(ManyStuck())
+    assert not result.success
+    diagnostic = "\n".join(result.diagnostics)
+    # Only the first eight stuck tasks are named, the rest summarised.
+    assert "stuck-00" in diagnostic and "stuck-07" in diagnostic
+    assert "stuck-08" not in diagnostic
+    assert "4 more" in diagnostic
