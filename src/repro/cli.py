@@ -63,6 +63,24 @@ def _parse_binding(spec: str) -> tuple[str, str]:
     return label, path
 
 
+def _parse_tenant_quota(spec: str) -> tuple[str, int, Optional[int]]:
+    """``TENANT=MAX_CONTAINERS[:MAX_VCORES]`` -> (tenant, max, vcores)."""
+    tenant, separator, caps = spec.partition("=")
+    if not separator or not tenant or not caps:
+        raise argparse.ArgumentTypeError(
+            f"expected TENANT=MAX_CONTAINERS[:MAX_VCORES], got {spec!r}"
+        )
+    containers, _, vcores = caps.partition(":")
+    try:
+        return (
+            tenant,
+            int(containers),
+            int(vcores) if vcores else None,
+        )
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"bad quota in {spec!r}") from None
+
+
 def _add_workflow_arguments(parser: argparse.ArgumentParser) -> None:
     """Arguments shared by every workflow-executing subcommand."""
     parser.add_argument("workflow", help="workflow file (any supported language)")
@@ -85,6 +103,18 @@ def _add_workflow_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--container-memory-mb", type=float, default=1024.0)
     parser.add_argument("--containers-per-node", type=int, default=None)
     parser.add_argument("--backbone-mb-s", type=float, default=10_000.0)
+    parser.add_argument("--rm-policy", choices=["fifo", "fair", "drf"],
+                        default="fifo",
+                        help="cross-application RM allocation policy "
+                        "(default: fifo)")
+    parser.add_argument("--tenant", default=None, metavar="NAME",
+                        help="YARN queue the workflow submits under "
+                        "(default: its own app id)")
+    parser.add_argument("--tenant-quota", dest="tenant_quotas",
+                        type=_parse_tenant_quota, action="append", default=[],
+                        metavar="TENANT=MAX[:VCORES]",
+                        help="cap a tenant's concurrently held containers "
+                        "(and optionally vcores); repeatable")
     parser.add_argument("--quiet", action="store_true")
 
 
@@ -193,8 +223,13 @@ def _execute_workflow(
             tracing=tracing,
             trace_hdfs_events=trace_hdfs_events,
             decision_audit=decision_audit,
+            rm_policy=args.rm_policy,
         ),
     )
+    for tenant, max_containers, max_vcores in args.tenant_quotas:
+        hiway.rm.configure_tenant(
+            tenant, max_containers=max_containers, max_vcores=max_vcores
+        )
     tools = args.tools or hiway.tools.names()
     hiway.install_everywhere(*tools)
     if args.inputs:
@@ -202,7 +237,7 @@ def _execute_workflow(
 
     if before_run is not None:
         before_run(hiway)
-    result = hiway.run(source, scheduler=args.scheduler)
+    result = hiway.run(source, scheduler=args.scheduler, tenant=args.tenant)
     if not args.quiet:
         status = "SUCCEEDED" if result.success else "FAILED"
         print(f"workflow {result.name!r} {status} "

@@ -175,6 +175,7 @@ class HiWayApplicationMaster:
         scheduler: Optional[WorkflowScheduler | str] = None,
         config: Optional[HiWayConfig] = None,
         name: Optional[str] = None,
+        tenant: Optional[str] = None,
     ):
         self.env = cluster.env
         self.cluster = cluster
@@ -195,6 +196,9 @@ class HiWayApplicationMaster:
             scheduler = make_scheduler(scheduler)
         self.scheduler = scheduler
         self.name = name or getattr(source, "name", "workflow")
+        #: Tenant (YARN queue) the AM submits under; None lets the RM
+        #: default to the fresh app id (one tenant per application).
+        self.tenant = tenant
         self.scheduler.bind(
             SchedulerContext(
                 worker_ids=cluster.worker_ids,
@@ -254,11 +258,26 @@ class HiWayApplicationMaster:
     def run(self):
         """Generator process executing the whole workflow."""
         started = self.env.now
-        self._app = self.rm.register_application(self.name)
+        ticket = self.rm.submit_application(self.name, tenant=self.tenant)
+        if ticket.rejected:
+            workflow_id = self.provenance.allocate_workflow_id()
+            if self.scheduler.context is not None:
+                self.scheduler.context.workflow_id = workflow_id
+            self.core.begin(workflow_id)
+            return self._finish(
+                started, error=f"admission rejected: {ticket.reason}"
+            )
+        if ticket.handle is not None:
+            self._app = ticket.handle
+        else:
+            # Queued behind the admission cap; the RM fires the event
+            # with our handle once a running application unregisters.
+            self._app = yield ticket.event
         workflow_id = self.provenance.allocate_workflow_id()
         if self.scheduler.context is not None:
             # Stamp decisions with the id now that provenance minted it.
             self.scheduler.context.workflow_id = workflow_id
+            self.scheduler.context.tenant = self._app.tenant
         self.core.begin(workflow_id)
         if self._am_host is not None:
             # Container supervision / RM heartbeat load for the lifetime

@@ -25,6 +25,7 @@ from repro.sim.engine import Process
 from repro.tools.generic import default_registry
 from repro.tools.profile import ToolRegistry
 from repro.workflow.model import TaskSource
+from repro.yarn.allocation import AdmissionController
 from repro.yarn.resourcemanager import ResourceManager
 
 __all__ = ["HiWay"]
@@ -46,15 +47,23 @@ class HiWay:
         self.cluster = cluster
         self.env = cluster.env
         self.hdfs = hdfs if hdfs is not None else HdfsClient(cluster)
-        self.rm = (
-            rm
-            if rm is not None
-            else ResourceManager(
-                self.env, cluster, max_containers_per_node=max_containers_per_node
-            )
-        )
-        self.tools = tools if tools is not None else default_registry()
         self.config = config or HiWayConfig()
+        if rm is None:
+            admission = None
+            if self.config.max_concurrent_apps is not None:
+                admission = AdmissionController(
+                    max_concurrent_apps=self.config.max_concurrent_apps,
+                    overflow=self.config.admission_overflow,
+                )
+            rm = ResourceManager(
+                self.env,
+                cluster,
+                max_containers_per_node=max_containers_per_node,
+                policy=self.config.rm_policy,
+                admission=admission,
+            )
+        self.rm = rm
+        self.tools = tools if tools is not None else default_registry()
         self.provenance = ProvenanceManager(self.env, provenance_store)
         #: The installation's observability bus (owned by the cluster).
         self.bus = cluster.bus
@@ -82,10 +91,13 @@ class HiWay:
         scheduler: Optional[WorkflowScheduler | str] = None,
         name: Optional[str] = None,
         config: Optional[HiWayConfig] = None,
+        tenant: Optional[str] = None,
     ) -> Process:
         """Spawn a fresh AM for ``source``; returns its process.
 
         The process's value is the :class:`WorkflowResult` once it ends.
+        ``tenant`` names the YARN queue the workflow submits under; the
+        default (None) gives each workflow its own tenant.
         """
         am = HiWayApplicationMaster(
             cluster=self.cluster,
@@ -97,6 +109,7 @@ class HiWay:
             scheduler=scheduler,
             config=config or self.config,
             name=name,
+            tenant=tenant,
         )
         return self.env.process(am.run())
 
@@ -106,9 +119,12 @@ class HiWay:
         scheduler: Optional[WorkflowScheduler | str] = None,
         name: Optional[str] = None,
         config: Optional[HiWayConfig] = None,
+        tenant: Optional[str] = None,
     ) -> WorkflowResult:
         """Submit ``source`` and drive the simulation to its completion."""
-        process = self.submit(source, scheduler=scheduler, name=name, config=config)
+        process = self.submit(
+            source, scheduler=scheduler, name=name, config=config, tenant=tenant
+        )
         self.env.run(until=process)
         return process.value
 
@@ -118,13 +134,15 @@ class HiWay:
         scheduler: Optional[WorkflowScheduler | str] = None,
         names: Optional[Sequence[Optional[str]]] = None,
         config: Optional[HiWayConfig] = None,
+        tenants: Optional[Sequence[Optional[str]]] = None,
     ) -> list[Process]:
         """Spawn one AM per source against this installation's single RM.
 
         ``scheduler`` must be a policy *name* (or ``None``) when more
         than one source is given: a scheduler instance binds to exactly
         one AM, so sharing one across concurrent workflows would cross
-        their queues.
+        their queues. ``tenants`` optionally maps each source onto a
+        YARN queue (several workflows may share one tenant).
         """
         if isinstance(scheduler, WorkflowScheduler) and len(sources) > 1:
             raise WorkflowError(
@@ -135,10 +153,18 @@ class HiWay:
             raise WorkflowError(
                 f"got {len(names)} names for {len(sources)} sources"
             )
+        if tenants is not None and len(tenants) != len(sources):
+            raise WorkflowError(
+                f"got {len(tenants)} tenants for {len(sources)} sources"
+            )
         names = list(names) if names is not None else [None] * len(sources)
+        tenants = list(tenants) if tenants is not None else [None] * len(sources)
         return [
-            self.submit(source, scheduler=scheduler, name=name, config=config)
-            for source, name in zip(sources, names)
+            self.submit(
+                source, scheduler=scheduler, name=name, config=config,
+                tenant=tenant,
+            )
+            for source, name, tenant in zip(sources, names, tenants)
         ]
 
     def run_many(
@@ -147,6 +173,7 @@ class HiWay:
         scheduler: Optional[WorkflowScheduler | str] = None,
         names: Optional[Sequence[Optional[str]]] = None,
         config: Optional[HiWayConfig] = None,
+        tenants: Optional[Sequence[Optional[str]]] = None,
     ) -> list[WorkflowResult]:
         """Run several workflows concurrently on one RM; results in order.
 
@@ -156,7 +183,8 @@ class HiWay:
         multi-tenancy (Sec. 3.1: "many independent AMs").
         """
         processes = self.submit_many(
-            sources, scheduler=scheduler, names=names, config=config
+            sources, scheduler=scheduler, names=names, config=config,
+            tenants=tenants,
         )
         if processes:
             self.env.run(until=self.env.all_of(processes))

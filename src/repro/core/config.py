@@ -5,6 +5,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
+from repro.yarn.allocation import POLICY_NAMES
+
 __all__ = ["HiWayConfig"]
 
 
@@ -53,6 +55,16 @@ class HiWayConfig:
     #: ``SchedulingDecision`` subscriber the policies skip all
     #: audit-only scoring work.
     decision_audit: bool = False
+    #: Cross-application allocation policy of the installation's default
+    #: RM: "fifo" (arrival order), "fair" (fewest weighted containers
+    #: first) or "drf" (smallest weighted dominant share first).
+    rm_policy: str = "fifo"
+    #: Cap on concurrently registered applications (None = unbounded);
+    #: the substrate of the workflow-as-a-service admission control.
+    max_concurrent_apps: Optional[int] = None
+    #: What happens to submissions beyond the cap: "queue" waits for a
+    #: slot, "reject" refuses outright.
+    admission_overflow: str = "queue"
 
     def __post_init__(self) -> None:
         if self.container_vcores < 1:
@@ -61,3 +73,15 @@ class HiWayConfig:
             raise ValueError("container_memory_mb must be positive")
         if self.max_retries < 0:
             raise ValueError("max_retries must be >= 0")
+        if self.rm_policy not in POLICY_NAMES:
+            raise ValueError(
+                f"unknown rm_policy {self.rm_policy!r}; "
+                f"choose one of {POLICY_NAMES}"
+            )
+        if self.max_concurrent_apps is not None and self.max_concurrent_apps < 1:
+            raise ValueError("max_concurrent_apps must be >= 1")
+        if self.admission_overflow not in ("queue", "reject"):
+            raise ValueError(
+                f"unknown admission_overflow {self.admission_overflow!r}; "
+                f"choose 'queue' or 'reject'"
+            )

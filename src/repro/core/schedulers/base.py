@@ -47,6 +47,9 @@ class SchedulerContext:
     provenance: Optional["ProvenanceManager"] = None
     bus: Optional["EventBus"] = None
     workflow_id: str = ""
+    #: Tenant (YARN queue) the workflow runs under; the AM fills it once
+    #: the RM admits the application.
+    tenant: str = ""
 
 
 @dataclass
@@ -130,6 +133,7 @@ class WorkflowScheduler:
             score_name=score_name,
             better=better,
             reason=reason,
+            tenant=context.tenant,
         ))
 
     # -- static planning -------------------------------------------------------

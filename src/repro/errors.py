@@ -43,6 +43,10 @@ class ContainerError(YarnError):
     """Raised when a container fails during launch or execution."""
 
 
+class AdmissionError(YarnError):
+    """Raised when the RM's admission controller refuses a registration."""
+
+
 class WorkflowError(ReproError):
     """Raised for malformed workflow definitions."""
 

@@ -1,6 +1,14 @@
 """Reproductions of every table and figure in the paper's evaluation."""
 
-from repro.experiments.common import ExperimentTable, mean, median, minutes, std
+from repro.experiments.common import (
+    ExperimentTable,
+    jain_index,
+    mean,
+    median,
+    minutes,
+    percentile,
+    std,
+)
 from repro.experiments.fig4 import (
     Fig4ConcurrentConfig,
     Fig4Config,
@@ -15,8 +23,10 @@ from repro.experiments.table2 import Table2Config, run_table2
 
 __all__ = [
     "ExperimentTable",
+    "jain_index",
     "mean",
     "median",
+    "percentile",
     "std",
     "minutes",
     "run_table1",
@@ -50,7 +60,12 @@ EXPERIMENTS = {
 }
 
 #: Experiments with a ``--concurrent`` (multi-workflow, one shared RM)
-#: variant; same call signature as :data:`EXPERIMENTS`.
+#: variant; same call signature as :data:`EXPERIMENTS` plus optional
+#: ``workflow_counts`` / ``policies`` overrides from the CLI.
 CONCURRENT_EXPERIMENTS = {
-    "fig4": lambda quick=False, jobs=1: run_fig4_concurrent(quick=quick, jobs=jobs),
+    "fig4": lambda quick=False, jobs=1, workflow_counts=None, policies=None:
+        run_fig4_concurrent(
+            quick=quick, jobs=jobs,
+            workflow_counts=workflow_counts, policies=policies,
+        ),
 }

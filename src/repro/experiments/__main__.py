@@ -47,15 +47,30 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "--concurrent",
-        action="store_true",
+        nargs="*",
+        type=int,
+        default=None,
+        metavar="N",
         help=(
             "run the multi-workflow variant (N concurrent AMs sharing one "
-            f"RM); available for: {', '.join(sorted(CONCURRENT_EXPERIMENTS))}"
+            "RM); optional N values override the workflow counts, e.g. "
+            "'--concurrent 64' for a single 64-tenant point; available "
+            f"for: {', '.join(sorted(CONCURRENT_EXPERIMENTS))}"
+        ),
+    )
+    parser.add_argument(
+        "--rm-policy",
+        choices=["fifo", "fair", "drf", "all"],
+        default="all",
+        help=(
+            "RM allocation policy for the --concurrent variant "
+            "(default: compare all three)"
         ),
     )
     args = parser.parse_args(argv)
     jobs = None if args.parallel else args.jobs
-    registry = CONCURRENT_EXPERIMENTS if args.concurrent else EXPERIMENTS
+    concurrent = args.concurrent is not None
+    registry = CONCURRENT_EXPERIMENTS if concurrent else EXPERIMENTS
     names = sorted(registry) if args.experiment == "all" else [args.experiment]
     missing = [name for name in names if name not in registry]
     if missing:
@@ -63,9 +78,15 @@ def main(argv: list[str] | None = None) -> int:
             f"no --concurrent variant for: {', '.join(missing)} "
             f"(have: {', '.join(sorted(CONCURRENT_EXPERIMENTS))})"
         )
+    kwargs = {}
+    if concurrent:
+        if args.concurrent:  # bare --concurrent keeps the config default
+            kwargs["workflow_counts"] = tuple(args.concurrent)
+        if args.rm_policy != "all":
+            kwargs["policies"] = (args.rm_policy,)
     for name in names:
         started = time.time()
-        table = registry[name](quick=args.quick, jobs=jobs)
+        table = registry[name](quick=args.quick, jobs=jobs, **kwargs)
         print(table.format())
         print(f"(regenerated in {time.time() - started:.1f}s)\n")
     return 0

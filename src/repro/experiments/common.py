@@ -6,7 +6,10 @@ import math
 from dataclasses import dataclass, field
 from typing import Sequence
 
-__all__ = ["ExperimentTable", "mean", "std", "median", "minutes"]
+__all__ = [
+    "ExperimentTable", "mean", "std", "median", "minutes",
+    "jain_index", "percentile",
+]
 
 
 def mean(values: Sequence[float]) -> float:
@@ -38,6 +41,34 @@ def median(values: Sequence[float]) -> float:
 def minutes(seconds: float) -> float:
     """Seconds -> minutes."""
     return seconds / 60.0
+
+
+def jain_index(values: Sequence[float]) -> float:
+    """Jain's fairness index: ``(sum x)^2 / (n * sum x^2)``.
+
+    1.0 when every tenant got identical service, ``1/n`` when one tenant
+    got everything (1.0 for the degenerate empty/all-zero cases).
+    """
+    values = list(values)
+    square_sum = sum(v * v for v in values)
+    if not values or square_sum == 0:
+        return 1.0
+    total = sum(values)
+    return (total * total) / (len(values) * square_sum)
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """The ``q``-th percentile (0..100, linear interpolation; 0 if empty)."""
+    ordered = sorted(values)
+    if not ordered:
+        return 0.0
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (q / 100.0) * (len(ordered) - 1)
+    low = int(math.floor(rank))
+    high = min(low + 1, len(ordered) - 1)
+    fraction = rank - low
+    return ordered[low] + (ordered[high] - ordered[low]) * fraction
 
 
 def _fmt(value) -> str:

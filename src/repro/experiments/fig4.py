@@ -11,12 +11,24 @@ locality-blind placement saturates the network.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 from repro.baselines.tez import TezApplicationMaster
 from repro.cluster import Cluster, ClusterSpec, XEON_E5_2620
 from repro.core import HiWay, HiWayConfig
-from repro.experiments.common import ExperimentTable, mean, minutes, std
+from repro.experiments.common import (
+    ExperimentTable,
+    jain_index,
+    mean,
+    minutes,
+    percentile,
+    std,
+)
+from repro.obs.events import (
+    ContainerAllocated,
+    ContainerReleased,
+    ContainerRequested,
+)
 from repro.hdfs import HdfsClient
 from repro.langs import CuneiformSource
 from repro.perf import run_grid
@@ -181,7 +193,7 @@ def run_fig4(
     return table
 
 
-# -- concurrent multi-workflow variant (AM multi-tenancy, Sec. 3.1) ---------------
+# -- concurrent multi-workflow variant (workflow-as-a-service, Sec. 3.1) ----------
 
 
 @dataclass(frozen=True)
@@ -189,40 +201,72 @@ class Fig4ConcurrentConfig:
     """Parameters of the multi-tenant Figure 4 variant.
 
     One YARN RM, one HDFS, N Hi-WAY AMs at once — the paper's "many
-    independent AMs sharing one installation" deployment. The cluster is
-    sized for the *largest* N so every point contends for the same
-    resource pool.
+    independent AMs sharing one installation" deployment, pushed to
+    service scale (16..256 tenants). The workload is *heterogeneous* in
+    width: every ``wide_every``-th workflow processes ``wide_samples``
+    samples, the rest ``narrow_samples`` — the mix where a
+    locality-blind, arrival-ordered allocator lets wide tenants starve
+    narrow ones, which is exactly what the fair-share/DRF allocation
+    policies exist to prevent.
     """
 
     node_count: int = 24
-    containers: int = 288
-    samples_per_workflow: int = 24
-    files_per_sample: int = 8
-    mb_per_file: float = 1024.0
+    containers: int = 96
+    wide_samples: int = 8
+    narrow_samples: int = 2
+    #: Every k-th workflow (k % wide_every == 0) is wide.
+    wide_every: int = 4
+    files_per_sample: int = 4
+    mb_per_file: float = 256.0
     backbone_mb_s: float = 100.0
-    workflow_counts: tuple[int, ...] = (1, 2, 4)
+    workflow_counts: tuple[int, ...] = (16, 64, 256)
+    #: RM allocation policies compared at every point.
+    policies: tuple[str, ...] = ("fifo", "fair", "drf")
+    #: Seconds between successive workflow submissions. Staggered
+    #: arrivals are what make allocation policy matter: a workflow
+    #: arriving at a busy service queues behind the incumbent tenants'
+    #: entire backlog under fifo, while fair/drf hand it the next free
+    #: container (it holds nothing yet).
+    submit_interval_s: float = 30.0
 
     @classmethod
     def quick(cls) -> "Fig4ConcurrentConfig":
         return cls(
-            node_count=12,
-            containers=48,
-            samples_per_workflow=6,
-            files_per_sample=4,
-            mb_per_file=128.0,
+            node_count=8,
+            containers=24,
+            wide_samples=4,
+            narrow_samples=1,
+            files_per_sample=2,
+            mb_per_file=64.0,
             backbone_mb_s=15.0,
+            workflow_counts=(4, 16),
+            submit_interval_s=30.0,
         )
+
+    def samples_of(self, k: int) -> int:
+        """Sample count (work width) of workflow ``k``."""
+        return self.wide_samples if k % self.wide_every == 0 else self.narrow_samples
 
 
 def _run_hiway_concurrent(
-    config: Fig4ConcurrentConfig, n_workflows: int, seed: int
-) -> tuple[float, list[float]]:
+    config: Fig4ConcurrentConfig, n_workflows: int, policy: str, seed: int
+) -> tuple[float, list[float], list[int], list[float], float]:
     """One grid point: N concurrent SNV workflows on one installation.
 
-    Returns ``(makespan_seconds, per-workflow runtimes)``. Each workflow
-    gets its own input prefix (``/wf-K/...``) and source name
-    (``snv-K`` → outputs under ``/cf/snv-K/``), so the N workflows share
-    HDFS without colliding.
+    Returns ``(makespan_seconds, per-workflow runtimes, per-workflow
+    sample counts, container wait samples, fairness)``. ``fairness`` is
+    the *time-averaged instantaneous* Jain index: at every allocation
+    event, Jain's index is taken over the containers held by each tenant
+    with live demand (holding or waiting for containers), weighted by
+    how long that distribution persisted, and averaged over the
+    contended intervals (two or more such tenants). This measures what
+    the allocation policy actually controls — how equally the cluster is
+    split among the tenants competing *at each moment* — and is
+    insensitive to tenants entering/leaving or wanting different totals.
+    Each workflow gets its own input prefix (``/wf-K/...``), source name
+    (``snv-K`` → outputs under ``/cf/snv-K/``) and tenant identity
+    (``wf-K``), so the N workflows share HDFS and the RM without
+    colliding.
     """
     env = Environment()
     cluster = Cluster(
@@ -236,7 +280,10 @@ def _run_hiway_concurrent(
     )
     hdfs = HdfsClient(cluster, seed=seed)
     rm = ResourceManager(
-        env, cluster, max_containers_per_node=config.containers // config.node_count
+        env,
+        cluster,
+        max_containers_per_node=max(1, config.containers // config.node_count),
+        policy=policy,
     )
     hiway = HiWay(
         cluster,
@@ -245,73 +292,153 @@ def _run_hiway_concurrent(
         config=HiWayConfig(container_vcores=1, container_memory_mb=1024.0),
     )
     hiway.install_everywhere(*SNV_TOOLS)
-    sources = []
+    waits: list[float] = []
+    tenant_of_container: dict[str, str] = {}
+    held: dict[str, int] = {}  # tenant -> containers held now
+    wanted: dict[str, int] = {}  # tenant -> requests waiting now
+    acc = {"t": 0.0, "num": 0.0, "den": 0.0}
+
+    def settle(now: float) -> None:
+        """Charge the current distribution for the time it persisted."""
+        dt = now - acc["t"]
+        acc["t"] = now
+        if dt <= 0:
+            return
+        competing = [
+            held.get(tenant, 0)
+            for tenant in set(held) | set(wanted)
+            if held.get(tenant, 0) > 0 or wanted.get(tenant, 0) > 0
+        ]
+        if len(competing) >= 2:
+            acc["num"] += jain_index(competing) * dt
+            acc["den"] += dt
+
+    def on_requested(event):
+        settle(event.t)
+        wanted[event.tenant] = wanted.get(event.tenant, 0) + 1
+
+    def on_allocated(event):
+        settle(event.t)
+        waits.append(event.wait_seconds)
+        tenant_of_container[event.container_id] = event.tenant
+        wanted[event.tenant] = max(0, wanted.get(event.tenant, 0) - 1)
+        held[event.tenant] = held.get(event.tenant, 0) + 1
+
+    def on_released(event):
+        tenant = tenant_of_container.pop(event.container_id, None)
+        if tenant is not None:
+            settle(event.t)
+            held[tenant] = max(0, held.get(tenant, 0) - 1)
+
+    cluster.bus.subscribe(ContainerRequested, on_requested)
+    cluster.bus.subscribe(ContainerAllocated, on_allocated)
+    cluster.bus.subscribe(ContainerReleased, on_released)
+    sources, tenants, works = [], [], []
     for k in range(n_workflows):
+        samples = config.samples_of(k)
         base = sample_read_files(
-            config.samples_per_workflow,
+            samples,
             files_per_sample=config.files_per_sample,
             mb_per_file=config.mb_per_file,
         )
         inputs = {f"/wf-{k}{path}": size for path, size in base.items()}
         hiway.stage_inputs(inputs, seed=seed + k)
         sources.append(CuneiformSource(snv_cuneiform(inputs), name=f"snv-{k}"))
+        tenants.append(f"wf-{k}")
+        works.append(samples)
     started = env.now
-    results = hiway.run_many(sources, scheduler="data-aware")
+
+    def submit_after(delay, source, tenant):
+        if delay > 0:
+            yield env.timeout(delay)
+        result = yield hiway.submit(source, scheduler="data-aware", tenant=tenant)
+        return result
+
+    processes = [
+        env.process(submit_after(k * config.submit_interval_s, source, tenant))
+        for k, (source, tenant) in enumerate(zip(sources, tenants))
+    ]
+    env.run(until=env.all_of(processes))
+    results = [process.value for process in processes]
     for result in results:
         assert result.success, result.diagnostics
     makespan = max(result.finished_at for result in results) - started
-    return makespan, [result.runtime_seconds for result in results]
+    runtimes = [r.runtime_seconds for r in results]
+    settle(env.now)
+    fairness = acc["num"] / acc["den"] if acc["den"] > 0 else 1.0
+    return makespan, runtimes, works, waits, fairness
 
 
 def _fig4_concurrent_unit(
-    config: Fig4ConcurrentConfig, n_workflows: int, seed: int
-) -> tuple[float, list[float]]:
+    config: Fig4ConcurrentConfig, n_workflows: int, policy: str, seed: int
+) -> tuple[float, list[float], list[int], list[float], float]:
     """One grid point (picklable for the process-pool runner)."""
-    return _run_hiway_concurrent(config, n_workflows, seed)
+    return _run_hiway_concurrent(config, n_workflows, policy, seed)
 
 
 def run_fig4_concurrent(
     config: Fig4ConcurrentConfig | None = None,
     quick: bool = False,
     jobs: int | None = 1,
+    workflow_counts: tuple[int, ...] | None = None,
+    policies: tuple[str, ...] | None = None,
 ) -> ExperimentTable:
-    """Throughput of N concurrent SNV workflows on one shared RM.
+    """Fairness and throughput of N concurrent workflows per RM policy.
 
-    ``efficiency`` compares each point's makespan to running the same N
-    workflows back-to-back (N x the single-workflow makespan): 1.0 means
-    concurrency was free, >1.0 means the AMs packed the shared cluster
-    better than serial submission would have.
+    Per point the table reports the makespan, the time-averaged
+    instantaneous Jain fairness index over competing tenants' held
+    containers (1.0 when, at every contended moment, each tenant with
+    live demand held an equal slice — see
+    :func:`_run_hiway_concurrent`), the p50/p95 container allocation
+    wait, and ``efficiency``: the makespan compared against running the
+    same total work back-to-back at the single-workflow rate (1.0 means
+    concurrency was free).
     """
     if config is None:
         config = Fig4ConcurrentConfig.quick() if quick else Fig4ConcurrentConfig()
+    if workflow_counts is not None:
+        config = replace(config, workflow_counts=tuple(workflow_counts))
+    if policies is not None:
+        config = replace(config, policies=tuple(policies))
     table = ExperimentTable(
         experiment_id="fig4-concurrent",
-        title="Concurrent SNV workflows sharing one RM (Hi-WAY, data-aware)",
+        title=(
+            "Concurrent SNV workflows sharing one RM "
+            "(Hi-WAY data-aware; fifo vs fair vs drf allocation)"
+        ),
         columns=[
-            "workflows",
+            "workflows", "policy",
             "makespan_min",
-            "wf_mean_min", "wf_max_min",
+            "jain",
+            "wait_p50_s", "wait_p95_s",
             "efficiency",
         ],
         notes=(
             f"{config.node_count} Xeon nodes, {config.containers} containers, "
-            f"{config.samples_per_workflow} samples/workflow x "
-            f"{config.files_per_sample} x {config.mb_per_file:.0f} MB, "
-            f"{config.backbone_mb_s:.0f} MB/s switch"
+            f"width mix {config.wide_samples}/{config.narrow_samples} samples "
+            f"(1 wide per {config.wide_every}) x {config.files_per_sample} x "
+            f"{config.mb_per_file:.0f} MB, {config.backbone_mb_s:.0f} MB/s "
+            f"switch"
         ),
     )
-    params = [(config, n, 0) for n in config.workflow_counts]
-    results = run_grid(_fig4_concurrent_unit, params, jobs=jobs)
-    serial_unit: float | None = None
-    for n_workflows, (makespan, runtimes) in zip(config.workflow_counts, results):
-        if serial_unit is None:
-            # First row anchors the serial baseline; with workflow_counts
-            # starting at 1 (the default) this is the single-workflow run.
-            serial_unit = makespan / n_workflows
-        table.add_row(
-            n_workflows,
-            minutes(makespan),
-            minutes(mean(runtimes)), minutes(max(runtimes)),
-            (n_workflows * serial_unit) / makespan,
-        )
+    # One uncontended single-workflow run anchors the serial baseline all
+    # efficiencies are measured against, then the (N x policy) grid.
+    params = [(config, 1, "fifo", 0)] + [
+        (config, n, policy, 0)
+        for n in config.workflow_counts
+        for policy in config.policies
+    ]
+    results = iter(run_grid(_fig4_concurrent_unit, params, jobs=jobs))
+    base_makespan, _, base_works, _, _ = next(results)
+    serial_rate = base_makespan / sum(base_works)  # seconds per sample
+    for n_workflows in config.workflow_counts:
+        for policy in config.policies:
+            makespan, runtimes, works, waits, fairness = next(results)
+            table.add_row(
+                n_workflows, policy,
+                minutes(makespan),
+                fairness,
+                percentile(waits, 50.0), percentile(waits, 95.0),
+                (sum(works) * serial_rate) / makespan,
+            )
     return table

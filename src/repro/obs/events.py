@@ -43,6 +43,7 @@ __all__ = [
     "TaskAttemptFinished",
     "FileStaged",
     "SchedulingDecision",
+    "AdmissionDecision",
     "ApplicationRegistered",
     "ApplicationUnregistered",
     "ContainerRequested",
@@ -189,9 +190,22 @@ class SchedulingDecision(ObsEvent):
     #: "min" if lower scores win, "max" if higher scores win.
     better: str = "min"
     reason: str = ""
+    #: Tenant the deciding workflow runs under ("" when not threaded).
+    tenant: str = ""
 
 
 # -- yarn topic (RM / NM infrastructure) --------------------------------------
+
+
+@dataclass
+class AdmissionDecision(ObsEvent):
+    """The RM's admission controller ruled on one application submission."""
+
+    topic: ClassVar[str] = "yarn"
+    name: str = ""
+    tenant: str = ""
+    #: "admit", "queue" or "reject".
+    outcome: str = ""
 
 
 @dataclass
@@ -199,6 +213,8 @@ class ApplicationRegistered(ObsEvent):
     topic: ClassVar[str] = "yarn"
     app_id: str = ""
     name: str = ""
+    #: YARN-queue identity the application submits under.
+    tenant: str = ""
 
 
 @dataclass
@@ -216,6 +232,7 @@ class ContainerRequested(ObsEvent):
     memory_mb: float = 0.0
     preferred_node: Optional[str] = None
     strict: bool = False
+    tenant: str = ""
 
 
 @dataclass
@@ -228,6 +245,7 @@ class ContainerAllocated(ObsEvent):
     #: Allocation latency (request submission -> this allocation),
     #: stamped by the RM so subscribers need no request-time bookkeeping.
     wait_seconds: float = 0.0
+    tenant: str = ""
 
 
 @dataclass

@@ -273,6 +273,15 @@ class MetricsRegistry:
         wf_runtime = self.gauge("hiway_workflow_runtime_seconds",
                                 "Per-workflow wall-clock runtime",
                                 ("workflow",))
+        tenant_containers = self.counter(
+            "hiway_tenant_containers_total",
+            "Containers allocated per tenant (YARN queue)", ("tenant",))
+        tenant_wait = self.histogram(
+            "hiway_tenant_container_wait_seconds", LATENCY_BUCKETS,
+            "Container allocation latency per tenant", ("tenant",))
+        admissions = self.counter(
+            "hiway_admission_total",
+            "Application admission decisions by outcome", ("outcome",))
 
         def on_dispatched(event: ev.TaskDispatched) -> None:
             self._dispatch_t[(event.workflow_id, event.task_id)] = event.t
@@ -301,6 +310,14 @@ class MetricsRegistry:
             alloc_wait.observe(event.wait_seconds)
             self._container_alloc_t[event.container_id] = event.t
             live.inc()
+            if event.tenant:
+                tenant_containers.labels(tenant=event.tenant).inc()
+                tenant_wait.labels(tenant=event.tenant).observe(
+                    event.wait_seconds
+                )
+
+        def on_admission(event: ev.AdmissionDecision) -> None:
+            admissions.labels(outcome=event.outcome or "unknown").inc()
 
         def on_released(event: ev.ContainerReleased) -> None:
             allocated = self._container_alloc_t.pop(event.container_id, None)
@@ -346,6 +363,7 @@ class MetricsRegistry:
             (ev.TaskAttemptFinished, on_task),
             (ev.TaskRetried, on_retry),
             (ev.ContainerAllocated, on_allocated),
+            (ev.AdmissionDecision, on_admission),
             (ev.ContainerReleased, on_released),
             (ev.ContainerLaunched, on_launched),
             (ev.ContainerFinished, on_finished),

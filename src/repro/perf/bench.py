@@ -212,6 +212,52 @@ def _bench_scheduler_data_aware(quick: bool) -> tuple[int, float]:
     return selections, time.perf_counter() - started
 
 
+def _bench_rm_serve_pending(quick: bool) -> tuple[int, float]:
+    """RM allocation churn under a deep multi-tenant backlog (fair policy).
+
+    Many applications keep a deep request backlog while containers churn;
+    every release triggers a serve pass. This is the path the per-tenant
+    queues keep incremental (the old code re-sorted the whole global
+    backlog on each pass).
+    """
+    from repro.cluster import Cluster, ClusterSpec, M3_LARGE
+    from repro.obs.events import ContainerAllocated
+    from repro.sim import Environment
+    from repro.yarn import ContainerResource, ResourceManager
+
+    apps = 8
+    backlog_per_app = 60 if quick else 240
+    env = Environment()
+    cluster = Cluster(
+        env,
+        ClusterSpec(worker_spec=M3_LARGE, worker_count=16, master_count=1),
+    )
+    rm = ResourceManager(env, cluster, policy="fair")
+    granted: list = []
+    cluster.bus.subscribe(
+        ContainerAllocated,
+        lambda event: granted.append((event.node_id, event.container_id)),
+    )
+    resource = ContainerResource(vcores=1, memory_mb=512.0)
+    handles = [rm.register_application(f"bench-{i}") for i in range(apps)]
+    started = time.perf_counter()
+    for round_index in range(backlog_per_app):
+        for handle in handles:
+            rm.request_container(handle, resource)
+    env.run()
+    # Churn: release whatever was granted, letting the backlog drain in
+    # waves until every request has been served once.
+    while rm.pending_request_count() > 0 or granted:
+        wave, granted = granted, []
+        for node_id, container_id in wave:
+            nm = rm.node_managers[node_id]
+            rm.release_container(nm.containers[container_id])
+        env.run()
+    wall = time.perf_counter() - started
+    assert rm.allocations == apps * backlog_per_app
+    return rm.allocations, wall
+
+
 def _bench_end_to_end_snv(quick: bool) -> tuple[int, float]:
     """Whole-system run: SNV weak-scaling workflow on a small cluster."""
     from repro.experiments.table2 import Table2Config, run_weak_scaling_once
@@ -248,6 +294,7 @@ BENCHMARKS: dict[str, Callable[[bool], tuple[int, float]]] = {
     "hdfs_locality_query": _bench_hdfs_locality_query,
     "hdfs_batch_scoring": _bench_hdfs_batch_scoring,
     "scheduler_data_aware": _bench_scheduler_data_aware,
+    "rm_serve_pending": _bench_rm_serve_pending,
     "end_to_end_snv": _bench_end_to_end_snv,
     "end_to_end_fig9": _bench_end_to_end_fig9,
 }

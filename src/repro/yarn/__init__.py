@@ -1,5 +1,16 @@
 """Simulated Hadoop YARN: ResourceManager, NodeManagers, containers."""
 
+from repro.yarn.allocation import (
+    AdmissionController,
+    AdmissionTicket,
+    AllocationPolicy,
+    DrfPolicy,
+    FairSharePolicy,
+    FifoPolicy,
+    POLICY_NAMES,
+    TenantSpec,
+    make_policy,
+)
 from repro.yarn.nodemanager import ContainerOutcome, NodeManager
 from repro.yarn.records import (
     ApplicationHandle,
@@ -11,12 +22,21 @@ from repro.yarn.records import (
 from repro.yarn.resourcemanager import ResourceManager
 
 __all__ = [
+    "AdmissionController",
+    "AdmissionTicket",
+    "AllocationPolicy",
     "ApplicationHandle",
     "ContainerOutcome",
     "Container",
     "ContainerRequest",
     "ContainerResource",
     "ContainerState",
+    "DrfPolicy",
+    "FairSharePolicy",
+    "FifoPolicy",
     "NodeManager",
+    "POLICY_NAMES",
     "ResourceManager",
+    "TenantSpec",
+    "make_policy",
 ]

@@ -1,0 +1,47 @@
+"""Pluggable cross-application allocation for the simulated RM.
+
+YARN multiplexes many independent application masters onto one shared
+cluster; *how* the ResourceManager orders their container requests is a
+policy decision (FifoScheduler / FairScheduler / DominantResourceFairness
+in real YARN). This package factors that decision out of the RM:
+
+* :mod:`~repro.yarn.allocation.policy` — the :class:`AllocationPolicy`
+  protocol plus the three built-in orderings (``fifo``, ``fair``,
+  ``drf``);
+* :mod:`~repro.yarn.allocation.queues` — per-tenant pending queues with
+  weights and quota caps, replacing the RM's single pending deque;
+* :mod:`~repro.yarn.allocation.admission` — the
+  :class:`AdmissionController` bounding concurrently registered
+  applications (queue or reject beyond the limit).
+
+The RM keeps the mechanism (node choice, capacity bookkeeping, events);
+everything here is pure ordering/limiting policy and owns no simulation
+state beyond the queued requests themselves.
+"""
+
+from repro.yarn.allocation.admission import AdmissionController, AdmissionTicket
+from repro.yarn.allocation.policy import (
+    AllocationPolicy,
+    ClusterShare,
+    DrfPolicy,
+    FairSharePolicy,
+    FifoPolicy,
+    POLICY_NAMES,
+    make_policy,
+)
+from repro.yarn.allocation.queues import PendingPool, TenantQueue, TenantSpec
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionTicket",
+    "AllocationPolicy",
+    "ClusterShare",
+    "DrfPolicy",
+    "FairSharePolicy",
+    "FifoPolicy",
+    "POLICY_NAMES",
+    "PendingPool",
+    "TenantQueue",
+    "TenantSpec",
+    "make_policy",
+]

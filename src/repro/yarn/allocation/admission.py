@@ -1,0 +1,80 @@
+"""Admission control: bounding concurrently registered applications.
+
+A workflow-as-a-service RM cannot let an unbounded number of AMs
+register — each holds heartbeat state and competes for the allocator.
+The :class:`AdmissionController` caps concurrent registrations; beyond
+the cap a submission is either *queued* (admitted FIFO as running
+applications unregister — the default, modelling YARN's accepted-apps
+queue) or *rejected* outright.
+
+The controller is pure decision logic; the RM owns the actual waiting
+queue and resolves queued tickets when slots free up.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.engine import Event
+    from repro.yarn.records import ApplicationHandle
+
+__all__ = ["AdmissionController", "AdmissionTicket"]
+
+
+@dataclass
+class AdmissionTicket:
+    """Outcome of one application submission.
+
+    Exactly one of three shapes:
+
+    * admitted now — ``handle`` is set, ``event`` is None;
+    * queued — ``event`` is set and will fire with the
+      :class:`~repro.yarn.records.ApplicationHandle` once admitted;
+    * rejected — ``rejected`` is True and ``reason`` says why.
+    """
+
+    name: str
+    tenant: Optional[str] = None
+    handle: Optional["ApplicationHandle"] = None
+    event: Optional["Event"] = None
+    rejected: bool = False
+    reason: str = ""
+
+    @property
+    def admitted(self) -> bool:
+        """Whether the application is registered right now."""
+        return self.handle is not None
+
+
+class AdmissionController:
+    """Caps concurrently registered applications on one RM."""
+
+    #: What happens to submissions beyond the cap.
+    OVERFLOW_MODES = ("queue", "reject")
+
+    def __init__(
+        self,
+        max_concurrent_apps: Optional[int] = None,
+        overflow: str = "queue",
+    ):
+        if max_concurrent_apps is not None and max_concurrent_apps < 1:
+            raise ValueError("max_concurrent_apps must be >= 1")
+        if overflow not in self.OVERFLOW_MODES:
+            raise ValueError(
+                f"unknown overflow mode {overflow!r}; "
+                f"choose one of {self.OVERFLOW_MODES}"
+            )
+        self.max_concurrent_apps = max_concurrent_apps
+        self.overflow = overflow
+
+    def decide(self, active: int) -> str:
+        """``"admit"``, ``"queue"`` or ``"reject"`` for one submission."""
+        if self.max_concurrent_apps is None or active < self.max_concurrent_apps:
+            return "admit"
+        return "queue" if self.overflow == "queue" else "reject"
+
+    def has_slot(self, active: int) -> bool:
+        """Whether a queued application could be admitted right now."""
+        return self.max_concurrent_apps is None or active < self.max_concurrent_apps

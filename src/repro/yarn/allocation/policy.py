@@ -1,0 +1,125 @@
+"""Cross-application allocation policies (the RM's request ordering).
+
+A policy ranks the *candidate* requests at the head of each tenant's
+scan position; the RM serves the best-ranked candidate, updates that
+tenant's usage, and re-ranks only the affected queue. Ranks are plain
+sortable tuples whose last element is the globally unique
+``request_id``, so every ordering is total and deterministic and two
+policies differ only in what they put *before* the arrival tiebreak:
+
+``fifo``
+    Nothing — pure arrival order, byte-identical to serving one global
+    deque (the default, and what all single-workflow experiments use).
+``fair``
+    The tenant's weighted container count, approximating YARN's
+    FairScheduler at container granularity: whoever holds the fewest
+    containers (per unit of weight) goes first.
+``drf``
+    The tenant's weighted *dominant share* — the larger of its vcore and
+    memory fraction of current cluster capacity (Ghodsi et al.'s
+    Dominant Resource Fairness). With heterogeneous container shapes a
+    memory-hungry tenant and a cpu-hungry tenant each get priority on
+    the resource the other barely uses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.errors import YarnError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.yarn.allocation.queues import TenantQueue
+    from repro.yarn.records import ContainerRequest
+
+__all__ = [
+    "ClusterShare",
+    "AllocationPolicy",
+    "FifoPolicy",
+    "FairSharePolicy",
+    "DrfPolicy",
+    "POLICY_NAMES",
+    "make_policy",
+]
+
+
+@dataclass(frozen=True)
+class ClusterShare:
+    """Current total capacity the DRF dominant share is measured against."""
+
+    total_vcores: int
+    total_memory_mb: float
+
+
+class AllocationPolicy:
+    """Protocol: rank a candidate request for service order (lower wins)."""
+
+    #: Registry/CLI name of the policy.
+    name = "abstract"
+
+    def rank(
+        self,
+        request: "ContainerRequest",
+        queue: "TenantQueue",
+        share: ClusterShare,
+    ) -> tuple:
+        """Sortable key for ``request``; must end in ``request.request_id``."""
+        raise NotImplementedError  # pragma: no cover - interface
+
+
+class FifoPolicy(AllocationPolicy):
+    """Strict arrival order across all tenants (YARN FifoScheduler)."""
+
+    name = "fifo"
+
+    def rank(self, request, queue, share) -> tuple:
+        return (request.request_id,)
+
+
+class FairSharePolicy(AllocationPolicy):
+    """Fewest weighted containers held goes first (YARN FairScheduler)."""
+
+    name = "fair"
+
+    def rank(self, request, queue, share) -> tuple:
+        return (queue.containers_held / queue.weight, request.request_id)
+
+
+class DrfPolicy(AllocationPolicy):
+    """Smallest weighted dominant share (vcores vs memory) goes first."""
+
+    name = "drf"
+
+    def rank(self, request, queue, share) -> tuple:
+        vcore_share = (
+            queue.vcores_held / share.total_vcores if share.total_vcores else 0.0
+        )
+        memory_share = (
+            queue.memory_mb_held / share.total_memory_mb
+            if share.total_memory_mb
+            else 0.0
+        )
+        dominant = max(vcore_share, memory_share)
+        return (dominant / queue.weight, request.request_id)
+
+
+_POLICIES = {
+    policy.name: policy for policy in (FifoPolicy, FairSharePolicy, DrfPolicy)
+}
+
+#: Names accepted by :func:`make_policy`, ``HiWayConfig.rm_policy`` and
+#: the ``--rm-policy`` CLI flags.
+POLICY_NAMES = tuple(sorted(_POLICIES))
+
+
+def make_policy(name: "str | AllocationPolicy") -> AllocationPolicy:
+    """Resolve a policy name (or pass an instance through)."""
+    if isinstance(name, AllocationPolicy):
+        return name
+    cls = _POLICIES.get(name)
+    if cls is None:
+        raise YarnError(
+            f"unknown allocation policy {name!r}; choose one of {POLICY_NAMES}"
+        )
+    return cls()

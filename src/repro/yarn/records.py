@@ -76,6 +76,10 @@ class ContainerRequest:
     resource: ContainerResource
     preferred_node: Optional[str] = None
     strict: bool = False
+    #: Tenant (YARN queue) the owning application submits under; the RM
+    #: stamps it from the :class:`ApplicationHandle` so allocation
+    #: policies and quotas can group requests without an app lookup.
+    tenant: str = ""
     request_id: int = field(default_factory=lambda: next(_request_ids))
     cancelled: bool = False
     #: Simulation time the RM accepted the request (allocation latency
@@ -89,7 +93,14 @@ class ContainerRequest:
 
 @dataclass
 class ApplicationHandle:
-    """RM-side registration of one application master."""
+    """RM-side registration of one application master.
+
+    ``tenant`` is the YARN-queue identity the application submits
+    under: allocation policies rank, and quota caps bound, usage at
+    tenant granularity. Defaults to the app id, so an unconfigured
+    installation degenerates to one tenant per application.
+    """
 
     app_id: str
     name: str
+    tenant: str = ""

@@ -12,6 +12,7 @@ PACKAGES = [
     "repro.cluster",
     "repro.hdfs",
     "repro.yarn",
+    "repro.yarn.allocation",
     "repro.tools",
     "repro.workflow",
     "repro.langs",

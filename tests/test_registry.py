@@ -109,6 +109,34 @@ def test_registry_aggregates_a_whole_run():
     assert 0.0 <= registry.read_locality() <= 1.0
 
 
+def test_registry_tracks_per_tenant_series():
+    hiway, _result = _run_diamond_with_tenant("genomics")
+    registry = hiway.registry
+    assert registry.value("hiway_tenant_containers_total",
+                          tenant="genomics") == 3
+    waits = registry.get("hiway_tenant_container_wait_seconds")
+    observed = {key: child.count for key, child in waits.series()}
+    assert observed == {(("tenant", "genomics"),): 3}
+
+
+def _run_diamond_with_tenant(tenant):
+    env = Environment()
+    cluster = Cluster(env, ClusterSpec(worker_spec=M3_LARGE, worker_count=3))
+    hiway = HiWay(cluster)
+    hiway.install_everywhere("sort", "grep", "cat")
+    hiway.stage_inputs({"/in/a": 48.0})
+    graph = WorkflowGraph("diamond")
+    graph.add_task(TaskSpec(tool="sort", inputs=["/in/a"], outputs=["/m1"],
+                            task_id="left"))
+    graph.add_task(TaskSpec(tool="grep", inputs=["/in/a"], outputs=["/m2"],
+                            task_id="right"))
+    graph.add_task(TaskSpec(tool="cat", inputs=["/m1", "/m2"],
+                            outputs=["/out"], task_id="join"))
+    result = hiway.run(StaticTaskSource(graph), tenant=tenant)
+    assert result.success, result.diagnostics
+    return hiway, result
+
+
 def test_legacy_counters_view_matches_registry():
     hiway, _result = _run_diamond()
     counters = hiway.cluster.metrics.counters

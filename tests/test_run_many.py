@@ -52,6 +52,10 @@ def test_run_many_completes_four_concurrent_workflows():
     # All AMs genuinely overlapped on the shared RM rather than running
     # back to back: everyone started at t=0 (after staging).
     assert len({result.started_at for result in results}) == 1
+    # Every AM unregistered cleanly: the RM retired its bookkeeping for
+    # all four applications instead of leaking hold counts forever.
+    assert hiway.rm._containers_held == {}
+    assert hiway.rm.pending_request_count() == 0
 
 
 def test_run_many_separates_per_workflow_metrics():
