@@ -5,7 +5,8 @@ paper-scale Fig4Config() takes ~1 h of single-core wall time)."""
 import json, time
 from repro.experiments import (
     Fig4Config, Fig6Config, Fig8Config, Fig9Config, Table2Config,
-    run_fig4, run_fig6, run_fig8, run_fig9, run_table1, run_table2,
+    run_fig4, run_fig6, run_fig8, run_fig9, run_openloop, run_table1,
+    run_table2,
 )
 
 JOBS = [
@@ -14,6 +15,7 @@ JOBS = [
     ("fig6", lambda: run_fig6(Fig6Config())),
     ("fig8", lambda: run_fig8(Fig8Config(runs=5))),
     ("fig9", lambda: run_fig9(Fig9Config(consecutive_heft_runs=20, experiment_repeats=40))),
+    ("openloop", lambda: run_openloop(jobs=None)),
 ]
 for name, job in JOBS:
     started = time.time()

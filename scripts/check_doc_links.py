@@ -1,0 +1,119 @@
+#!/usr/bin/env python3
+"""Fail CI on broken intra-repo links in the project's Markdown files.
+
+Scans every tracked ``*.md`` file for inline Markdown links and checks
+the relative ones against the working tree:
+
+* ``[text](relative/path)`` — the target file or directory must exist,
+  resolved against the linking file's directory (or the repo root when
+  the link starts with ``/``);
+* ``[text](relative/path#anchor)`` and ``[text](#anchor)`` — the target
+  must additionally contain a heading whose GitHub slug matches the
+  anchor.
+
+External links (``http(s)://``, ``mailto:``) are out of scope — CI must
+not depend on the network. Usage::
+
+    python scripts/check_doc_links.py [root]
+
+Exits 0 when every intra-repo link resolves, 1 otherwise (listing every
+broken link as ``file:line: target``).
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+#: Inline links: [text](target). Images share the syntax via a leading
+#: "!", which the pattern tolerates. Reference-style links are rare in
+#: this repo and skipped.
+LINK = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+
+#: Directories never scanned (generated or vendored content).
+SKIP_DIRS = {".git", "__pycache__", ".pytest_cache", "node_modules"}
+
+EXTERNAL = ("http://", "https://", "mailto:", "ftp://")
+
+
+def github_slug(heading: str) -> str:
+    """GitHub's heading-to-anchor slug (lowercase, dashes, no punct)."""
+    slug = heading.strip().lower()
+    slug = re.sub(r"[`*_~]", "", slug)
+    slug = re.sub(r"[^\w\- ]", "", slug)
+    return slug.replace(" ", "-")
+
+
+def heading_slugs(path: Path) -> set[str]:
+    slugs: set[str] = set()
+    in_fence = False
+    for line in path.read_text(encoding="utf-8").splitlines():
+        if line.lstrip().startswith("```"):
+            in_fence = not in_fence
+            continue
+        if not in_fence and line.startswith("#"):
+            slugs.add(github_slug(line.lstrip("#")))
+    return slugs
+
+
+def iter_links(path: Path):
+    """Yield ``(line_number, target)`` for every inline link."""
+    in_fence = False
+    for number, line in enumerate(
+        path.read_text(encoding="utf-8").splitlines(), start=1
+    ):
+        if line.lstrip().startswith("```"):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        for match in LINK.finditer(line):
+            yield number, match.group(1)
+
+
+def check_file(path: Path, root: Path) -> list[str]:
+    errors: list[str] = []
+    for number, target in iter_links(path):
+        if target.startswith(EXTERNAL):
+            continue
+        base, _, anchor = target.partition("#")
+        if base:
+            resolved = (
+                root / base.lstrip("/") if base.startswith("/")
+                else path.parent / base
+            )
+            if not resolved.exists():
+                errors.append(f"{path.relative_to(root)}:{number}: {target}")
+                continue
+        else:
+            resolved = path
+        if anchor and resolved.suffix == ".md" and resolved.is_file():
+            if github_slug(anchor) not in heading_slugs(resolved):
+                errors.append(
+                    f"{path.relative_to(root)}:{number}: {target} "
+                    f"(missing heading)"
+                )
+    return errors
+
+
+def main(argv: list[str]) -> int:
+    root = Path(argv[1]).resolve() if len(argv) > 1 else Path.cwd()
+    files = sorted(
+        path for path in root.rglob("*.md")
+        if not SKIP_DIRS.intersection(part for part in path.parts)
+    )
+    errors: list[str] = []
+    for path in files:
+        errors.extend(check_file(path, root))
+    if errors:
+        print(f"{len(errors)} broken intra-repo link(s):")
+        for error in errors:
+            print(f"  {error}")
+        return 1
+    print(f"ok: {len(files)} Markdown files, all intra-repo links resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

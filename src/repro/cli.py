@@ -18,6 +18,8 @@ Usage::
         --input /in/data.csv=256                   # critical path + metrics
     python -m repro explain workflow.cf join \\
         --input /in/data.csv=256                   # why task 'join' landed there
+    python -m repro serve-sim --arrival poisson --rate-per-h 12 \\
+        --horizon-s 86400 --seed 42                # a day of service traffic
 """
 
 from __future__ import annotations
@@ -81,6 +83,38 @@ def _parse_tenant_quota(spec: str) -> tuple[str, int, Optional[int]]:
         raise argparse.ArgumentTypeError(f"bad quota in {spec!r}") from None
 
 
+def _parse_tenant_profile(spec: str):
+    """``NAME[:WEIGHT][=KIND:SHARE,...]`` -> TenantProfile.
+
+    Examples: ``genomics:2=snv:3,rnaseq:1`` (weight 2, 3:1 SNV to
+    RNA-seq), ``astro=montage:1``, ``ops`` (weight 1, uniform mix).
+    """
+    from repro.service import TenantProfile
+
+    head, separator, mix_text = spec.partition("=")
+    name, _, weight_text = head.partition(":")
+    if not name:
+        raise argparse.ArgumentTypeError(
+            f"expected NAME[:WEIGHT][=KIND:SHARE,...], got {spec!r}"
+        )
+    try:
+        weight = float(weight_text) if weight_text else 1.0
+        kwargs = {}
+        if separator:
+            mix = {}
+            for part in mix_text.split(","):
+                kind, _, share = part.partition(":")
+                mix[kind.strip()] = float(share) if share else 1.0
+            kwargs["mix"] = mix
+        return TenantProfile(name, weight=weight, **kwargs)
+    except (ValueError, argparse.ArgumentTypeError):
+        raise
+    except Exception as error:
+        raise argparse.ArgumentTypeError(
+            f"bad tenant profile {spec!r}: {error}"
+        ) from None
+
+
 def _add_workflow_arguments(parser: argparse.ArgumentParser) -> None:
     """Arguments shared by every workflow-executing subcommand."""
     parser.add_argument("workflow", help="workflow file (any supported language)")
@@ -116,6 +150,172 @@ def _add_workflow_arguments(parser: argparse.ArgumentParser) -> None:
                         help="cap a tenant's concurrently held containers "
                         "(and optionally vcores); repeatable")
     parser.add_argument("--quiet", action="store_true")
+
+
+def _add_serve_arguments(parser: argparse.ArgumentParser) -> None:
+    """Arguments of the ``serve-sim`` subcommand."""
+    from repro.service import ARRIVAL_NAMES
+
+    traffic = parser.add_argument_group("traffic")
+    traffic.add_argument("--arrival", choices=ARRIVAL_NAMES, default="poisson",
+                         help="arrival process shape (default: poisson)")
+    traffic.add_argument("--rate-per-h", type=float, default=12.0,
+                         help="mean arrivals per hour (default: 12)")
+    traffic.add_argument("--users", type=float, default=None,
+                         help="derive the rate from a simulated user "
+                         "population instead of --rate-per-h")
+    traffic.add_argument("--requests-per-user-hour", type=float, default=0.5,
+                         help="workflows each user submits per hour "
+                         "(with --users; default: 0.5)")
+    traffic.add_argument("--horizon-s", type=float, default=3600.0,
+                         help="arrival window in simulated seconds "
+                         "(default: 3600)")
+    traffic.add_argument("--seed", type=int, default=0,
+                         help="arrival/tenant-draw seed (default: 0)")
+    traffic.add_argument("--amplitude", type=float, default=0.8,
+                         help="diurnal: sinusoid amplitude in [0,1] "
+                         "(default: 0.8)")
+    traffic.add_argument("--period-s", type=float, default=86_400.0,
+                         help="diurnal: cycle length (default: 86400)")
+    traffic.add_argument("--burst-multiplier", type=float, default=8.0,
+                         help="burst: rate multiplier inside the window "
+                         "(default: 8)")
+    traffic.add_argument("--burst-at-s", type=float, default=0.0,
+                         help="burst: window start (default: 0)")
+    traffic.add_argument("--burst-duration-s", type=float, default=600.0,
+                         help="burst: window length (default: 600)")
+    traffic.add_argument("--tenant-profile", dest="tenant_profiles",
+                         type=_parse_tenant_profile, action="append",
+                         default=[], metavar="NAME[:WEIGHT][=KIND:SHARE,...]",
+                         help="add a tenant with a traffic weight and "
+                         "workload mix, e.g. 'genomics:2=snv:3,rnaseq:1'; "
+                         "repeatable (default: the built-in three-tenant "
+                         "population)")
+    traffic.add_argument("--max-submissions", type=int, default=None,
+                         help="truncate the schedule after N submissions")
+
+    deployment = parser.add_argument_group("deployment")
+    deployment.add_argument("--workers", type=int, default=8)
+    deployment.add_argument("--containers-per-node", type=int, default=3)
+    deployment.add_argument("--backbone-mb-s", type=float, default=100.0)
+    deployment.add_argument("--rm-policy", choices=["fifo", "fair", "drf"],
+                            default="fair",
+                            help="cross-application RM allocation policy "
+                            "(default: fair)")
+    deployment.add_argument("--scheduler", choices=SCHEDULER_NAMES,
+                            default="data-aware")
+    deployment.add_argument("--max-concurrent-apps", type=int, default=8,
+                            help="admission cap on concurrently running "
+                            "workflows; 0 = uncapped (default: 8)")
+    deployment.add_argument("--admission-overflow",
+                            choices=["queue", "reject"], default="queue",
+                            help="what happens past the cap (default: queue)")
+    deployment.add_argument("--admission-drain",
+                            choices=["fifo", "tenant-fair"], default="fifo",
+                            help="admission queue drain order "
+                            "(default: fifo)")
+    deployment.add_argument("--fixed-containers", action="store_true",
+                            help="disable adaptive per-tool container "
+                            "sizing (1 vcore / 1024 MB for everything)")
+    deployment.add_argument("--sample-period-s", type=float, default=60.0,
+                            help="backlog/queue-depth sampling period "
+                            "(default: 60)")
+    deployment.add_argument("--no-drain", action="store_true",
+                            help="cut the run off at the horizon instead "
+                            "of draining in-flight workflows")
+
+    slo = parser.add_argument_group("SLO targets (omitted = not graded)")
+    slo.add_argument("--slo-p50-s", type=float, default=None)
+    slo.add_argument("--slo-p95-s", type=float, default=None)
+    slo.add_argument("--slo-p99-s", type=float, default=None)
+    slo.add_argument("--slo-max-rejection-pct", type=float, default=None,
+                     help="maximum admission rejection rate, in percent")
+
+    parser.add_argument("--out", metavar="PATH",
+                        help="also write the report here")
+    parser.add_argument("--metrics-out", metavar="PATH",
+                        help="also write the metrics registry as JSON here "
+                        "(includes the backlog/queue-depth time series)")
+    parser.add_argument("--quiet", action="store_true")
+
+
+def serve_command(args) -> int:
+    """Execute the ``serve-sim`` subcommand; returns the exit code.
+
+    Exit code 1 means the run finished but an SLO target failed —
+    mirroring how a CI capacity gate would consume this command.
+    """
+    from repro.service import (
+        DEFAULT_TENANTS,
+        ServiceConfig,
+        ServiceRunner,
+        SloTargets,
+        make_arrivals,
+        rate_from_users,
+    )
+
+    rate_per_s = (
+        rate_from_users(args.users, args.requests_per_user_hour)
+        if args.users is not None
+        else args.rate_per_h / 3600.0
+    )
+    if rate_per_s <= 0:
+        print("error: arrival rate must be positive", file=sys.stderr)
+        return 2
+    kwargs = {}
+    if args.arrival == "diurnal":
+        kwargs = {"amplitude": args.amplitude, "period_s": args.period_s}
+    elif args.arrival == "burst":
+        kwargs = {
+            "burst_multiplier": args.burst_multiplier,
+            "burst_at_s": args.burst_at_s,
+            "burst_duration_s": args.burst_duration_s,
+        }
+    arrivals = make_arrivals(args.arrival, rate_per_s, seed=args.seed, **kwargs)
+    runner = ServiceRunner(ServiceConfig(
+        workers=args.workers,
+        containers_per_node=args.containers_per_node,
+        backbone_mb_s=args.backbone_mb_s,
+        rm_policy=args.rm_policy,
+        max_concurrent_apps=args.max_concurrent_apps or None,
+        admission_overflow=args.admission_overflow,
+        admission_drain=args.admission_drain,
+        scheduler=args.scheduler,
+        adaptive_container_sizing=not args.fixed_containers,
+        sample_period_s=args.sample_period_s,
+        drain=not args.no_drain,
+        seed=args.seed,
+    ))
+    targets = SloTargets(
+        p50_s=args.slo_p50_s,
+        p95_s=args.slo_p95_s,
+        p99_s=args.slo_p99_s,
+        max_rejection_rate=(
+            args.slo_max_rejection_pct / 100.0
+            if args.slo_max_rejection_pct is not None else None
+        ),
+    )
+    report = runner.run(
+        arrivals,
+        tenants=tuple(args.tenant_profiles) or DEFAULT_TENANTS,
+        horizon_s=args.horizon_s,
+        targets=targets,
+        max_submissions=args.max_submissions,
+    )
+    text = report.render()
+    if not args.quiet:
+        print(text, end="")
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        if not args.quiet:
+            print(f"report saved to {args.out}")
+    if args.metrics_out:
+        with open(args.metrics_out, "w", encoding="utf-8") as handle:
+            handle.write(runner.registry.to_json() + "\n")
+        if not args.quiet:
+            print(f"metrics (JSON) saved to {args.metrics_out}")
+    return 0 if report.passed() else 1
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -160,6 +360,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_workflow_arguments(explain)
     explain.add_argument("task_id", help="task to explain (e.g. 'join')")
+    serve = subparsers.add_parser(
+        "serve-sim",
+        help="run the installation as a long-lived service under an "
+        "open-loop arrival process and print the SLO report "
+        "(p50/p95/p99 latency, throughput, backlog, admission)",
+    )
+    _add_serve_arguments(serve)
     experiments = subparsers.add_parser(
         "experiments",
         add_help=False,
@@ -352,6 +559,8 @@ def main(argv: Optional[list[str]] = None) -> int:
         return report_command(args)
     if args.command == "explain":
         return explain_command(args)
+    if args.command == "serve-sim":
+        return serve_command(args)
     if args.command == "experiments":
         from repro.experiments.__main__ import main as experiments_main
 

@@ -54,6 +54,7 @@ class HiWay:
                 admission = AdmissionController(
                     max_concurrent_apps=self.config.max_concurrent_apps,
                     overflow=self.config.admission_overflow,
+                    drain=self.config.admission_drain,
                 )
             rm = ResourceManager(
                 self.env,

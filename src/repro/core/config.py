@@ -65,6 +65,11 @@ class HiWayConfig:
     #: What happens to submissions beyond the cap: "queue" waits for a
     #: slot, "reject" refuses outright.
     admission_overflow: str = "queue"
+    #: How the admission queue drains when slots free up: "fifo"
+    #: (strict queue order — the default, matching YARN's accepted-apps
+    #: queue) or "tenant-fair" (least-admitted tenant first, preventing
+    #: a re-submitting tenant from starving queued ones).
+    admission_drain: str = "fifo"
 
     def __post_init__(self) -> None:
         if self.container_vcores < 1:
@@ -84,4 +89,9 @@ class HiWayConfig:
             raise ValueError(
                 f"unknown admission_overflow {self.admission_overflow!r}; "
                 f"choose 'queue' or 'reject'"
+            )
+        if self.admission_drain not in ("fifo", "tenant-fair"):
+            raise ValueError(
+                f"unknown admission_drain {self.admission_drain!r}; "
+                f"choose 'fifo' or 'tenant-fair'"
             )

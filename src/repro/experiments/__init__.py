@@ -18,6 +18,7 @@ from repro.experiments.fig4 import (
 from repro.experiments.fig6 import Fig6Config, run_fig6
 from repro.experiments.fig8 import Fig8Config, run_fig8
 from repro.experiments.fig9 import Fig9Config, run_fig9
+from repro.experiments.openloop import OpenLoopConfig, run_openloop
 from repro.experiments.table1 import run_table1
 from repro.experiments.table2 import Table2Config, run_table2
 
@@ -42,6 +43,8 @@ __all__ = [
     "Fig8Config",
     "run_fig9",
     "Fig9Config",
+    "run_openloop",
+    "OpenLoopConfig",
     "EXPERIMENTS",
     "CONCURRENT_EXPERIMENTS",
 ]
@@ -57,6 +60,7 @@ EXPERIMENTS = {
     "fig6": lambda quick=False, jobs=1: run_fig6(quick=quick, jobs=jobs),
     "fig8": lambda quick=False, jobs=1: run_fig8(quick=quick, jobs=jobs),
     "fig9": lambda quick=False, jobs=1: run_fig9(quick=quick, jobs=jobs),
+    "openloop": lambda quick=False, jobs=1: run_openloop(quick=quick, jobs=jobs),
 }
 
 #: Experiments with a ``--concurrent`` (multi-workflow, one shared RM)

@@ -34,8 +34,9 @@ from repro.obs.events import (
     TOPICS,
     WorkflowFinished,
     WorkflowStarted,
+    WorkflowSubmitted,
 )
-from repro.obs.registry import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.registry import Counter, Gauge, Histogram, MetricsRegistry, Series
 from repro.obs.tracer import Tracer
 
 __all__ = [
@@ -46,6 +47,7 @@ __all__ = [
     "Counter",
     "Gauge",
     "Histogram",
+    "Series",
     "DecisionAuditor",
     "CriticalPathAnalyzer",
     "WorkflowAnalysis",
@@ -53,6 +55,7 @@ __all__ = [
     "ObsEvent",
     "TOPICS",
     "SchedulingDecision",
+    "WorkflowSubmitted",
     "WorkflowStarted",
     "WorkflowFinished",
     "TaskDispatched",

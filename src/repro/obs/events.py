@@ -36,6 +36,7 @@ if TYPE_CHECKING:  # pragma: no cover
 
 __all__ = [
     "ObsEvent",
+    "WorkflowSubmitted",
     "WorkflowStarted",
     "WorkflowFinished",
     "TaskDispatched",
@@ -77,6 +78,23 @@ class ObsEvent:
 
 
 # -- workflow topic (Sec. 3.5 workflow granularity) ---------------------------
+
+
+@dataclass
+class WorkflowSubmitted(ObsEvent):
+    """A workflow arrived at the service (before admission/registration).
+
+    Published by the open-loop traffic harness
+    (:class:`~repro.service.ServiceRunner`) at each arrival-process
+    firing, one step upstream of :class:`WorkflowStarted`: the gap
+    between the two is the admission queue wait.
+    """
+
+    topic: ClassVar[str] = "workflow"
+    name: str = ""
+    tenant: str = ""
+    #: Workload family the submission was drawn from (e.g. "snv").
+    workload: str = ""
 
 
 @dataclass

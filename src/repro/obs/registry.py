@@ -28,7 +28,7 @@ from typing import Optional, Sequence
 from repro.obs import events as ev
 from repro.obs.bus import EventBus, Subscription
 
-__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry",
+__all__ = ["Counter", "Gauge", "Histogram", "Series", "MetricsRegistry",
            "RUNTIME_BUCKETS", "LATENCY_BUCKETS"]
 
 #: Task-runtime histogram bounds (seconds); tasks range from sub-second
@@ -163,6 +163,44 @@ class Histogram(_Instrument):
         return self.sum / self.count if self.count else 0.0
 
 
+class Series(_Instrument):
+    """A timestamped sample sequence (backlog depths, queue lengths).
+
+    Unlike the point-in-time :class:`Gauge`, a series keeps every
+    recorded ``(t, value)`` pair, which is what open-loop service runs
+    need: the *shape* of the backlog over simulated time, not just its
+    final value. JSON export carries the full sample list; the
+    Prometheus text format (which has no native series type) exports the
+    latest sample as a gauge.
+    """
+
+    kind = "series"
+
+    def __init__(self, name: str, help: str = "", labelnames: Sequence[str] = ()):
+        super().__init__(name, help, labelnames)
+        #: Recorded ``(t, value)`` pairs in record order.
+        self.samples: list[tuple[float, float]] = []
+
+    def _make_child(self) -> "Series":
+        return Series(self.name)
+
+    def record(self, t: float, value: float) -> None:
+        self.samples.append((float(t), float(value)))
+
+    @property
+    def value(self) -> float:
+        """The most recent sample (0 before the first record)."""
+        return self.samples[-1][1] if self.samples else 0.0
+
+    def max(self) -> float:
+        return max((v for _, v in self.samples), default=0.0)
+
+    def mean(self) -> float:
+        if not self.samples:
+            return 0.0
+        return sum(v for _, v in self.samples) / len(self.samples)
+
+
 class MetricsRegistry:
     """Named instruments plus the standard bus-fed aggregations."""
 
@@ -203,6 +241,11 @@ class MetricsRegistry:
                   help: str = "", labelnames: Sequence[str] = ()) -> Histogram:
         """Get or create the histogram ``name`` (idempotent)."""
         return self._register(Histogram(name, buckets, help, labelnames))
+
+    def series(self, name: str, help: str = "",
+               labelnames: Sequence[str] = ()) -> Series:
+        """Get or create the timestamped series ``name`` (idempotent)."""
+        return self._register(Series(name, help, labelnames))
 
     def get(self, name: str) -> Optional[_Instrument]:
         return self._instruments.get(name)
@@ -282,6 +325,12 @@ class MetricsRegistry:
         admissions = self.counter(
             "hiway_admission_total",
             "Application admission decisions by outcome", ("outcome",))
+        submissions = self.counter(
+            "hiway_workflow_submissions_total",
+            "Workflow arrivals at the service, per tenant", ("tenant",))
+
+        def on_submitted(event: ev.WorkflowSubmitted) -> None:
+            submissions.labels(tenant=event.tenant or "unknown").inc()
 
         def on_dispatched(event: ev.TaskDispatched) -> None:
             self._dispatch_t[(event.workflow_id, event.task_id)] = event.t
@@ -359,6 +408,7 @@ class MetricsRegistry:
             ).set(event.runtime_seconds)
 
         for event_type, handler in [
+            (ev.WorkflowSubmitted, on_submitted),
             (ev.TaskDispatched, on_dispatched),
             (ev.TaskAttemptFinished, on_task),
             (ev.TaskRetried, on_retry),
@@ -427,6 +477,10 @@ class MetricsRegistry:
                             for le, count in child.cumulative_counts()
                         },
                     }
+                elif isinstance(child, Series):
+                    values[label] = {
+                        "samples": [[t, v] for t, v in child.samples],
+                    }
                 else:
                     values[label] = child.value
             entry["values"] = values
@@ -443,7 +497,10 @@ class MetricsRegistry:
             instrument = self._instruments[name]
             if instrument.help:
                 lines.append(f"# HELP {name} {instrument.help}")
-            lines.append(f"# TYPE {name} {instrument.kind}")
+            # Prometheus has no series type; a series degrades to a
+            # gauge carrying its most recent sample.
+            kind = "gauge" if instrument.kind == "series" else instrument.kind
+            lines.append(f"# TYPE {name} {kind}")
             for key, child in instrument.series():
                 if isinstance(child, Histogram):
                     for le, count in child.cumulative_counts():

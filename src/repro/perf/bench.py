@@ -273,6 +273,29 @@ def _bench_end_to_end_snv(quick: bool) -> tuple[int, float]:
     return max(tasks, 1), wall
 
 
+def _bench_service_openloop(quick: bool) -> tuple[int, float]:
+    """Whole-system run: the open-loop traffic harness at service pace.
+
+    Exercises the long-lived-installation path (one RM + admission
+    controller over many arrivals) that none of the single-workflow
+    benchmarks touch: AM churn, admission queueing, per-arrival
+    staging-free submission, and the sampler's series recording.
+    """
+    from repro.service import ServiceConfig, ServiceRunner, make_arrivals
+
+    horizon = 1800.0 if quick else 3600.0
+    runner = ServiceRunner(ServiceConfig(
+        workers=4, max_concurrent_apps=4, sample_period_s=120.0, seed=0
+    ))
+    started = time.perf_counter()
+    report = runner.run(
+        make_arrivals("poisson", 30.0 / 3600.0, seed=0), horizon_s=horizon
+    )
+    wall = time.perf_counter() - started
+    assert report.submitted > 0 and not report.failed
+    return report.submitted, wall
+
+
 def _bench_end_to_end_fig9(quick: bool) -> tuple[int, float]:
     """Whole-system run: the Fig. 9 stressed-cluster HEFT harness."""
     from repro.experiments.fig9 import Fig9Config, _one_experiment
@@ -297,6 +320,7 @@ BENCHMARKS: dict[str, Callable[[bool], tuple[int, float]]] = {
     "rm_serve_pending": _bench_rm_serve_pending,
     "end_to_end_snv": _bench_end_to_end_snv,
     "end_to_end_fig9": _bench_end_to_end_fig9,
+    "service_openloop": _bench_service_openloop,
 }
 
 

@@ -1,0 +1,231 @@
+"""Arrival processes: mapping a user population onto submission times.
+
+The paper's evaluation (and every experiment harness in this repo
+before the service tier) is *closed-loop*: submit N workflows, wait for
+all of them, report the makespan. A workflow **service** faces the
+opposite shape — an *open-loop* stream of submissions that does not
+slow down when the cluster falls behind, which is what makes latency
+percentiles and backlog depth the right metrics (AsyncFlow's
+digital-twin framing, SNIPPETS §3).
+
+Three processes cover the traffic shapes capacity planning cares
+about, each fully deterministic under its seed:
+
+* :class:`PoissonArrivals` — memoryless steady-state traffic; the
+  textbook open-loop baseline.
+* :class:`DiurnalArrivals` — a sinusoid-modulated Poisson process (via
+  thinning) modelling the day/night cycle of an interactive user
+  population.
+* :class:`BurstArrivals` — steady base traffic with a flash-crowd
+  window at ``burst_rate`` times the base rate, the worst case an
+  admission controller exists for.
+
+Rates are derived from a simulated user population the AsyncFlow way:
+``users * requests_per_user_hour / 3600`` arrivals per second
+(:func:`rate_from_users`).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+__all__ = [
+    "ArrivalProcess",
+    "PoissonArrivals",
+    "DiurnalArrivals",
+    "BurstArrivals",
+    "ARRIVAL_NAMES",
+    "make_arrivals",
+    "rate_from_users",
+]
+
+
+def rate_from_users(users: float, requests_per_user_hour: float) -> float:
+    """Mean arrivals per second of a simulated user population."""
+    if users < 0 or requests_per_user_hour < 0:
+        raise ValueError("users and requests_per_user_hour must be >= 0")
+    return users * requests_per_user_hour / 3600.0
+
+
+class ArrivalProcess:
+    """One seeded stream of submission times on the simulated clock.
+
+    Subclasses define ``rate_at(t)`` (instantaneous arrivals/second)
+    and ``peak_rate``; :meth:`times` samples the inhomogeneous Poisson
+    process by thinning. Equal seeds give byte-identical schedules —
+    the property the determinism tests pin down.
+    """
+
+    name = "base"
+
+    def __init__(self, rate_per_s: float, seed: int = 0):
+        if rate_per_s <= 0:
+            raise ValueError("rate_per_s must be > 0")
+        self.rate_per_s = rate_per_s
+        self.seed = seed
+
+    # -- shape ------------------------------------------------------------------
+
+    def rate_at(self, t: float) -> float:
+        """Instantaneous arrival rate (arrivals/second) at time ``t``."""
+        return self.rate_per_s
+
+    @property
+    def peak_rate(self) -> float:
+        """An upper bound on :meth:`rate_at` over any horizon."""
+        return self.rate_per_s
+
+    def mean_rate(self, horizon_s: float) -> float:
+        """Average of ``rate_at`` over ``[0, horizon_s)`` (analytic)."""
+        return self.rate_per_s
+
+    # -- sampling ---------------------------------------------------------------
+
+    def times(self, horizon_s: float) -> list[float]:
+        """Arrival times in ``[0, horizon_s)``, strictly increasing.
+
+        Thinning (Lewis & Shedler): draw a homogeneous process at
+        ``peak_rate`` and keep each point with probability
+        ``rate_at(t) / peak_rate``. For the homogeneous subclasses the
+        acceptance test never rejects, so this is exactly the
+        exponential-gap construction.
+        """
+        if horizon_s <= 0:
+            return []
+        rng = random.Random(self.seed)
+        peak = self.peak_rate
+        out: list[float] = []
+        t = 0.0
+        while True:
+            t += rng.expovariate(peak)
+            if t >= horizon_s:
+                return out
+            if rng.random() * peak <= self.rate_at(t):
+                out.append(t)
+
+    def describe(self) -> str:
+        """One deterministic line for reports."""
+        return f"{self.name} (rate {self.rate_per_s:.4f}/s, seed {self.seed})"
+
+
+class PoissonArrivals(ArrivalProcess):
+    """Homogeneous Poisson arrivals: memoryless steady traffic."""
+
+    name = "poisson"
+
+
+class DiurnalArrivals(ArrivalProcess):
+    """Sinusoid-modulated Poisson traffic (day/night cycle).
+
+    ``rate_at(t) = rate * (1 + amplitude * sin(2*pi*(t - phase)/period))``
+    — the mean over a whole period is ``rate_per_s``; the peak is
+    ``rate * (1 + amplitude)``.
+    """
+
+    name = "diurnal"
+
+    def __init__(
+        self,
+        rate_per_s: float,
+        seed: int = 0,
+        amplitude: float = 0.8,
+        period_s: float = 86_400.0,
+        phase_s: float = 0.0,
+    ):
+        super().__init__(rate_per_s, seed)
+        if not 0.0 <= amplitude <= 1.0:
+            raise ValueError("amplitude must be within [0, 1]")
+        if period_s <= 0:
+            raise ValueError("period_s must be > 0")
+        self.amplitude = amplitude
+        self.period_s = period_s
+        self.phase_s = phase_s
+
+    def rate_at(self, t: float) -> float:
+        cycle = math.sin(2.0 * math.pi * (t - self.phase_s) / self.period_s)
+        return self.rate_per_s * (1.0 + self.amplitude * cycle)
+
+    @property
+    def peak_rate(self) -> float:
+        return self.rate_per_s * (1.0 + self.amplitude)
+
+    def describe(self) -> str:
+        return (
+            f"{self.name} (mean rate {self.rate_per_s:.4f}/s, amplitude "
+            f"{self.amplitude:.2f}, period {self.period_s:.0f} s, "
+            f"seed {self.seed})"
+        )
+
+
+class BurstArrivals(ArrivalProcess):
+    """Steady base traffic plus one flash-crowd window.
+
+    During ``[burst_at_s, burst_at_s + burst_duration_s)`` the rate is
+    ``rate_per_s * burst_multiplier``; ``rate_per_s`` otherwise.
+    """
+
+    name = "burst"
+
+    def __init__(
+        self,
+        rate_per_s: float,
+        seed: int = 0,
+        burst_multiplier: float = 8.0,
+        burst_at_s: float = 0.0,
+        burst_duration_s: float = 600.0,
+    ):
+        super().__init__(rate_per_s, seed)
+        if burst_multiplier < 1.0:
+            raise ValueError("burst_multiplier must be >= 1")
+        if burst_at_s < 0 or burst_duration_s < 0:
+            raise ValueError("burst window must be non-negative")
+        self.burst_multiplier = burst_multiplier
+        self.burst_at_s = burst_at_s
+        self.burst_duration_s = burst_duration_s
+
+    def rate_at(self, t: float) -> float:
+        in_burst = (
+            self.burst_at_s <= t < self.burst_at_s + self.burst_duration_s
+        )
+        return self.rate_per_s * (self.burst_multiplier if in_burst else 1.0)
+
+    @property
+    def peak_rate(self) -> float:
+        return self.rate_per_s * self.burst_multiplier
+
+    def mean_rate(self, horizon_s: float) -> float:
+        if horizon_s <= 0:
+            return self.rate_per_s
+        start = min(max(self.burst_at_s, 0.0), horizon_s)
+        end = min(self.burst_at_s + self.burst_duration_s, horizon_s)
+        burst_time = max(end - start, 0.0)
+        boosted = burst_time * (self.burst_multiplier - 1.0)
+        return self.rate_per_s * (horizon_s + boosted) / horizon_s
+
+    def describe(self) -> str:
+        return (
+            f"{self.name} (base rate {self.rate_per_s:.4f}/s, x"
+            f"{self.burst_multiplier:.1f} during [{self.burst_at_s:.0f} s, "
+            f"{self.burst_at_s + self.burst_duration_s:.0f} s), "
+            f"seed {self.seed})"
+        )
+
+
+#: Names accepted by :func:`make_arrivals` (and ``--arrival``).
+ARRIVAL_NAMES = ("poisson", "diurnal", "burst")
+
+
+def make_arrivals(
+    name: str, rate_per_s: float, seed: int = 0, **kwargs
+) -> ArrivalProcess:
+    """Build an arrival process by name (``--arrival`` factory)."""
+    if name == "poisson":
+        return PoissonArrivals(rate_per_s, seed=seed, **kwargs)
+    if name == "diurnal":
+        return DiurnalArrivals(rate_per_s, seed=seed, **kwargs)
+    if name == "burst":
+        return BurstArrivals(rate_per_s, seed=seed, **kwargs)
+    raise ValueError(
+        f"unknown arrival process {name!r}; choose one of {ARRIVAL_NAMES}"
+    )

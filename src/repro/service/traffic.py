@@ -1,0 +1,138 @@
+"""Traffic model: who submits what, when.
+
+An arrival process (:mod:`repro.service.arrivals`) says *when*
+submissions happen; this module says *who* submits and *what* they
+submit. Tenants are drawn by weight, then the tenant's workload mix
+picks one of the four paper workloads (SNV calling, Montage, k-means,
+RNA-seq). Both draws come from their own seeded generator, so the full
+schedule — times, tenants, kinds, names — is a pure function of
+``(arrivals, tenants, horizon, seed)``.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.service.arrivals import ArrivalProcess
+
+__all__ = [
+    "WORKLOAD_KINDS",
+    "TenantProfile",
+    "SubmissionSpec",
+    "DEFAULT_TENANTS",
+    "build_schedule",
+]
+
+#: Workload kinds a tenant mix may reference, in draw order.
+WORKLOAD_KINDS = ("snv", "montage", "kmeans", "rnaseq")
+
+
+@dataclass(frozen=True)
+class TenantProfile:
+    """One tenant's share of the traffic and taste in workflows.
+
+    ``weight`` is the tenant's relative share of arrivals; ``mix`` maps
+    workload kinds to relative weights (missing kinds are never drawn).
+    """
+
+    name: str
+    weight: float = 1.0
+    mix: dict[str, float] = field(
+        default_factory=lambda: {kind: 1.0 for kind in WORKLOAD_KINDS}
+    )
+
+    def __post_init__(self) -> None:
+        if self.weight <= 0:
+            raise ValueError("tenant weight must be > 0")
+        if not self.mix:
+            raise ValueError("tenant mix must not be empty")
+        for kind, share in self.mix.items():
+            if kind not in WORKLOAD_KINDS:
+                raise ValueError(
+                    f"unknown workload kind {kind!r}; "
+                    f"choose from {WORKLOAD_KINDS}"
+                )
+            if share < 0:
+                raise ValueError("mix shares must be >= 0")
+        if sum(self.mix.values()) <= 0:
+            raise ValueError("tenant mix must have a positive total share")
+
+
+#: A small three-tenant population with distinct tastes: genomics runs
+#: the heavy bioinformatics pipelines, astro renders mosaics, analytics
+#: iterates k-means. Used by ``serve-sim`` when no tenants are given.
+DEFAULT_TENANTS = (
+    TenantProfile("genomics", weight=2.0, mix={"snv": 3.0, "rnaseq": 1.0}),
+    TenantProfile("astro", weight=1.0, mix={"montage": 1.0}),
+    TenantProfile("analytics", weight=1.0, mix={"kmeans": 1.0}),
+)
+
+
+@dataclass(frozen=True)
+class SubmissionSpec:
+    """One planned submission on the simulated clock."""
+
+    index: int
+    at: float
+    tenant: str
+    kind: str
+    name: str
+
+
+def _weighted_choice(
+    rng: random.Random, choices: Sequence[str], weights: Sequence[float]
+) -> str:
+    """Deterministic weighted draw (no random.choices; one rng call)."""
+    total = sum(weights)
+    point = rng.random() * total
+    cumulative = 0.0
+    for choice, weight in zip(choices, weights):
+        cumulative += weight
+        if point < cumulative:
+            return choice
+    return choices[-1]
+
+
+def build_schedule(
+    arrivals: ArrivalProcess,
+    tenants: Sequence[TenantProfile] = DEFAULT_TENANTS,
+    horizon_s: float = 3600.0,
+    seed: Optional[int] = None,
+    max_submissions: Optional[int] = None,
+) -> list[SubmissionSpec]:
+    """Materialise the full submission schedule for one service run.
+
+    The tenant/kind draws use their own ``random.Random`` (seeded with
+    ``seed``, defaulting to ``arrivals.seed + 1``) so changing the
+    traffic shape does not reshuffle who submits what and vice versa.
+    ``max_submissions`` truncates the schedule (a safety valve for smoke
+    runs).
+    """
+    if not tenants:
+        raise ValueError("at least one tenant profile is required")
+    names = [tenant.name for tenant in tenants]
+    if len(set(names)) != len(names):
+        raise ValueError("tenant names must be unique")
+    rng = random.Random(arrivals.seed + 1 if seed is None else seed)
+    tenant_weights = [tenant.weight for tenant in tenants]
+    by_name = {tenant.name: tenant for tenant in tenants}
+
+    schedule: list[SubmissionSpec] = []
+    for index, at in enumerate(arrivals.times(horizon_s)):
+        if max_submissions is not None and index >= max_submissions:
+            break
+        tenant = by_name[_weighted_choice(rng, names, tenant_weights)]
+        kinds = sorted(tenant.mix)
+        kind = _weighted_choice(
+            rng, kinds, [tenant.mix[kind] for kind in kinds]
+        )
+        schedule.append(SubmissionSpec(
+            index=index,
+            at=at,
+            tenant=tenant.name,
+            kind=kind,
+            name=f"job-{index:05d}-{kind}",
+        ))
+    return schedule

@@ -52,8 +52,15 @@ def _mb(size_mb: float) -> str:
     return str(int(size_mb * 1.0e6))
 
 
-def montage_dax(degree: float = 0.25) -> str:
-    """Render the mosaic workflow as Pegasus DAX XML."""
+def montage_dax(degree: float = 0.25, work_prefix: str = "") -> str:
+    """Render the mosaic workflow as Pegasus DAX XML.
+
+    ``work_prefix`` relocates the workflow-private intermediate
+    (``/work/...``) and output (``/out/...``) paths under a unique HDFS
+    prefix (e.g. ``/svc/job-0042``) so several mosaics can run
+    concurrently against one shared set of raw ``/data/2mass`` images
+    without colliding — what the open-loop service harness does.
+    """
     n = images_for_degree(degree)
     jobs: list[str] = []
     children: list[str] = []
@@ -166,6 +173,12 @@ def montage_dax(degree: float = 0.25) -> str:
     children.append('  <child ref="jpeg">\n    <parent ref="shrink"/>\n  </child>')
 
     body = "\n".join(jobs) + "\n" + "\n".join(children)
+    if work_prefix:
+        prefix = work_prefix.rstrip("/")
+        # Only the workflow-private paths move; the raw /data inputs
+        # stay shared across concurrent runs.
+        body = body.replace('file="/work/', f'file="{prefix}/work/')
+        body = body.replace('file="/out/', f'file="{prefix}/out/')
     return (
         f'<adag name="montage-{degree}">\n{body}\n</adag>\n'
     )

@@ -3,9 +3,20 @@
 A workflow-as-a-service RM cannot let an unbounded number of AMs
 register — each holds heartbeat state and competes for the allocator.
 The :class:`AdmissionController` caps concurrent registrations; beyond
-the cap a submission is either *queued* (admitted FIFO as running
+the cap a submission is either *queued* (admitted as running
 applications unregister — the default, modelling YARN's accepted-apps
 queue) or *rejected* outright.
+
+How the waiting queue drains is itself a policy (``drain``):
+
+* ``"fifo"`` (the default) admits strictly in queue order — simple and
+  what YARN's accepted-apps queue does, but a tenant that keeps
+  re-submitting can occupy every freed slot if its retries happen to
+  sit at the head each time a slot opens;
+* ``"tenant-fair"`` admits the queued submission whose tenant has been
+  admitted *least often* so far (ties break in queue order), a
+  round-robin over tenants that keeps a retry-happy tenant from
+  starving the others.
 
 The controller is pure decision logic; the RM owns the actual waiting
 queue and resolves queued tickets when slots free up.
@@ -14,7 +25,7 @@ queue and resolves queued tickets when slots free up.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, TYPE_CHECKING
+from typing import Optional, Sequence, TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.sim.engine import Event
@@ -53,11 +64,14 @@ class AdmissionController:
 
     #: What happens to submissions beyond the cap.
     OVERFLOW_MODES = ("queue", "reject")
+    #: How the waiting queue drains when slots free up.
+    DRAIN_MODES = ("fifo", "tenant-fair")
 
     def __init__(
         self,
         max_concurrent_apps: Optional[int] = None,
         overflow: str = "queue",
+        drain: str = "fifo",
     ):
         if max_concurrent_apps is not None and max_concurrent_apps < 1:
             raise ValueError("max_concurrent_apps must be >= 1")
@@ -66,8 +80,17 @@ class AdmissionController:
                 f"unknown overflow mode {overflow!r}; "
                 f"choose one of {self.OVERFLOW_MODES}"
             )
+        if drain not in self.DRAIN_MODES:
+            raise ValueError(
+                f"unknown drain mode {drain!r}; "
+                f"choose one of {self.DRAIN_MODES}"
+            )
         self.max_concurrent_apps = max_concurrent_apps
         self.overflow = overflow
+        self.drain = drain
+        #: tenant key -> times that tenant has been admitted, the state
+        #: the ``tenant-fair`` drain ranks against.
+        self._admitted_counts: dict[str, int] = {}
 
     def decide(self, active: int) -> str:
         """``"admit"``, ``"queue"`` or ``"reject"`` for one submission."""
@@ -78,3 +101,37 @@ class AdmissionController:
     def has_slot(self, active: int) -> bool:
         """Whether a queued application could be admitted right now."""
         return self.max_concurrent_apps is None or active < self.max_concurrent_apps
+
+    @staticmethod
+    def _tenant_key(name: str, tenant: Optional[str]) -> str:
+        # Tenant-less submissions each become their own tenant at
+        # registration time, so their name is the closest stable key.
+        return tenant if tenant else name
+
+    def record_admission(self, name: str, tenant: Optional[str]) -> None:
+        """Note one admission (the RM calls this on every register)."""
+        key = self._tenant_key(name, tenant)
+        self._admitted_counts[key] = self._admitted_counts.get(key, 0) + 1
+
+    def select_queued(
+        self, entries: Sequence[tuple[str, Optional[str]]]
+    ) -> int:
+        """Index of the queued ``(name, tenant)`` to admit next.
+
+        ``"fifo"`` always picks the head. ``"tenant-fair"`` picks the
+        earliest entry of the tenant admitted least often so far, so a
+        tenant that keeps re-submitting (e.g. retrying after a
+        rejection) cannot occupy every freed slot while other tenants
+        wait.
+        """
+        if self.drain == "fifo" or len(entries) <= 1:
+            return 0
+        return min(
+            range(len(entries)),
+            key=lambda index: (
+                self._admitted_counts.get(
+                    self._tenant_key(*entries[index]), 0
+                ),
+                index,
+            ),
+        )

@@ -236,6 +236,8 @@ class ResourceManager:
         return self._register(name, tenant)
 
     def _register(self, name: str, tenant: Optional[str]) -> ApplicationHandle:
+        if self._admission is not None:
+            self._admission.record_admission(name, tenant)
         app_id = f"application_{next(self._app_ids):04d}"
         app = ApplicationHandle(
             app_id=app_id, name=name, tenant=tenant or app_id
@@ -270,13 +272,22 @@ class ResourceManager:
         self._admit_queued()
 
     def _admit_queued(self) -> None:
-        """Admit waiting submissions into freed slots, FIFO."""
+        """Admit waiting submissions into freed slots.
+
+        The order is the admission controller's ``drain`` policy: FIFO
+        (the default) or tenant-fair (least-admitted tenant first, a
+        round-robin over tenants that prevents retry starvation).
+        """
         if self._admission is None:
             return
         while self._admission_queue and self._admission.has_slot(
             active=len(self._apps)
         ):
-            name, tenant, event = self._admission_queue.popleft()
+            index = self._admission.select_queued(
+                [(name, tenant) for name, tenant, _ in self._admission_queue]
+            )
+            name, tenant, event = self._admission_queue[index]
+            del self._admission_queue[index]
             if self.bus.wants(AdmissionDecision):
                 self.bus.emit(AdmissionDecision(
                     name=name, tenant=tenant or "", outcome="admit"
@@ -286,6 +297,10 @@ class ResourceManager:
     def admission_queue_depth(self) -> int:
         """Submissions waiting for an admission slot."""
         return len(self._admission_queue)
+
+    def active_application_count(self) -> int:
+        """Applications registered right now."""
+        return len(self._apps)
 
     # -- allocation --------------------------------------------------------------
 

@@ -28,6 +28,7 @@ from repro.experiments.common import ExperimentTable
 def test_registry_covers_every_table_and_figure():
     assert set(EXPERIMENTS) == {
         "table1", "fig4", "table2", "fig5", "fig6", "fig8", "fig9",
+        "openloop",
     }
 
 
