@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import itertools
 
-from repro.baselines.cloudman.slurm import SlurmScheduler
+from repro.baselines.cloudman.slurm import SlurmJob, SlurmScheduler
 from repro.cluster.cluster import Cluster
 from repro.cluster.node import Node
 from repro.core.engine import (
@@ -31,7 +31,10 @@ from repro.core.engine import (
     RetryPolicy,
     TaskAttempt,
 )
+from repro.core.execution import TaskResult
 from repro.errors import ToolNotInstalled, WorkflowError
+from repro.hdfs.filesystem import FileTransferReport
+from repro.obs.events import FileStaged, SchedulingDecision
 from repro.tools.profile import ToolRegistry
 from repro.workflow.model import WorkflowGraph
 
@@ -86,7 +89,8 @@ class SlurmQueueBackend(ExecutionBackend):
     def submit(self, attempt: TaskAttempt) -> None:
         cloudman = self.cloudman
         done = cloudman.slurm.submit(
-            lambda node, attempt=attempt: cloudman._job_body(attempt, node)
+            lambda node, attempt=attempt: cloudman._job_body(attempt, node),
+            tag=attempt.task.task_id,
         )
         cloudman.env.process(self._watch(attempt, done))
 
@@ -106,7 +110,17 @@ class SlurmQueueBackend(ExecutionBackend):
                 attempt, node_id, success=False, error=value
             )
         else:
-            self.core.attempt_finished(attempt, node_id, success=True)
+            # Same attempt vocabulary as the other engines: the recorded
+            # makespan and output sizes feed the critical-path analyzer
+            # and the runtime histograms.
+            self.core.attempt_finished(
+                attempt,
+                node_id,
+                success=True,
+                makespan_seconds=value.makespan_seconds,
+                output_sizes=value.output_sizes,
+                value=value,
+            )
 
 
 class GalaxyCloudMan:
@@ -129,6 +143,7 @@ class GalaxyCloudMan:
         self.tools = tools
         self.volume = EbsVolume(cluster)
         self.slurm = SlurmScheduler(self.env, cluster.workers, slots_per_node)
+        self.slurm.on_assign = self._on_slurm_assign
         #: A later CloudMan update added transient (local-disk) storage;
         #: off by default, as EBS "continues to be the default option".
         self.use_transient_storage = use_transient_storage
@@ -160,6 +175,7 @@ class GalaxyCloudMan:
             retry=RetryPolicy(max_retries=0, exclude_failed_nodes=False),
             name=graph.name,
             fail_mode="abort",  # Galaxy aborts the run on the first failure
+            on_success=self._on_attempt_success,
             result_cls=CloudManResult,
         )
         self._core = core
@@ -181,8 +197,16 @@ class GalaxyCloudMan:
         return core.finalize(started)
 
     def _job_body(self, attempt: TaskAttempt, node: Node):
-        """One Galaxy job: EBS stage-in, tool run, EBS stage-out."""
+        """One Galaxy job: EBS stage-in, tool run, EBS stage-out.
+
+        Returns a :class:`~repro.core.execution.TaskResult` so the
+        backend reports the same attempt vocabulary (makespan, output
+        sizes, per-file transfer reports) as the container engines.
+        Every EBS byte crosses the network, so transfers count as
+        remote; parallel stage-in/out files share one timed window.
+        """
         task = attempt.task
+        started = self.env.now
         self._core.attempt_running(attempt, node.node_id)
         profile = self.tools.get(task.tool)
         if not node.has_software(task.tool):
@@ -194,6 +218,19 @@ class GalaxyCloudMan:
         reads = [self.volume.read(path, node.node_id) for path in task.inputs]
         if reads:
             yield self.env.all_of(reads)
+        in_seconds = self.env.now - started
+        input_reports = [
+            FileTransferReport(
+                path=path,
+                node_id=node.node_id,
+                size_mb=self.volume.size_of(path),
+                local_mb=0.0,
+                remote_mb=self.volume.size_of(path),
+                seconds=in_seconds,
+                direction="in",
+            )
+            for path in task.inputs
+        ]
         input_mb = sum(self.volume.size_of(path) for path in task.inputs)
         threads = min(profile.max_threads, node.spec.cores)
         yield node.compute(profile.work_for(input_mb), threads=threads)
@@ -207,11 +244,75 @@ class GalaxyCloudMan:
             else:
                 yield self.volume.scratch_io(scratch, node.node_id)
         sizes = profile.output_sizes(input_mb, len(task.outputs))
+        out_started = self.env.now
         writes = []
+        written: list[tuple[str, float]] = []
         for index, path in enumerate(task.outputs):
             hinted = task.hinted_size(path)
             size = sizes[index] if hinted is None else hinted
             writes.append(self.volume.write(path, size, node.node_id))
+            written.append((path, size))
         if writes:
             yield self.env.all_of(writes)
-        return task.task_id
+        out_seconds = self.env.now - out_started
+        return TaskResult(
+            task_id=task.task_id,
+            node_id=node.node_id,
+            started_at=started,
+            finished_at=self.env.now,
+            input_reports=input_reports,
+            output_reports=[
+                FileTransferReport(
+                    path=path,
+                    node_id=node.node_id,
+                    size_mb=size,
+                    local_mb=0.0,
+                    remote_mb=size,
+                    seconds=out_seconds,
+                    direction="out",
+                )
+                for path, size in written
+            ],
+            output_sizes=dict(written),
+        )
+
+    # -- observability hooks ----------------------------------------------------
+
+    def _on_slurm_assign(self, job: SlurmJob, node: Node, free: dict) -> None:
+        """Publish Slurm's placement in the shared decision vocabulary."""
+        bus = self.cluster.bus
+        if not bus.wants(SchedulingDecision):
+            return
+        workflow_id = (
+            self._core.workflow_id if self._core is not None else None
+        )
+        bus.emit(SchedulingDecision(
+            workflow_id=workflow_id or "",
+            policy="slurm-fifo",
+            kind="queue-bind",
+            task_id=job.tag,
+            node_id=node.node_id,
+            candidate_kind="node",
+            candidates=tuple(
+                (candidate.node_id, float(free[candidate.node_id]))
+                for candidate in self.slurm.nodes
+            ),
+            score_name="free slots",
+            better="max",
+            reason="FIFO head of the Slurm queue lands on the first "
+            "node with a free slot in scan order",
+        ))
+
+    def _on_attempt_success(self, attempt: TaskAttempt, result) -> None:
+        bus = self.cluster.bus
+        if result is None or not bus.wants(FileStaged):
+            return
+        workflow_id = (
+            self._core.workflow_id if self._core is not None else None
+        )
+        for report in result.input_reports + result.output_reports:
+            bus.emit(FileStaged(
+                workflow_id=workflow_id or "",
+                task=attempt.task,
+                report=report,
+            ))

@@ -26,6 +26,8 @@ class SlurmJob:
     body_factory: Callable[[Node], Generator]
     done: Event
     node: Optional[Node] = None
+    #: Caller-supplied identity (e.g. the task id) for observability.
+    tag: str = ""
 
 
 class SlurmScheduler:
@@ -43,14 +45,21 @@ class SlurmScheduler:
         self._queue: deque[SlurmJob] = deque()
         self._next_id = 1
         self.jobs_completed = 0
+        #: Optional observer fired at each placement with
+        #: ``(job, node, free_slots_before_assignment)``.
+        self.on_assign: Optional[
+            Callable[[SlurmJob, Node, dict], None]
+        ] = None
 
-    def submit(self, body_factory: Callable[[Node], Generator]) -> Event:
+    def submit(
+        self, body_factory: Callable[[Node], Generator], tag: str = ""
+    ) -> Event:
         """Queue a job; the returned event fires with (job, value) on exit.
 
         ``body_factory`` receives the node the job landed on and returns
         the simulation generator to run there.
         """
-        job = SlurmJob(self._next_id, body_factory, self.env.event())
+        job = SlurmJob(self._next_id, body_factory, self.env.event(), tag=tag)
         self._next_id += 1
         self._queue.append(job)
         self._try_dispatch()
@@ -63,6 +72,8 @@ class SlurmScheduler:
                 return
             job = self._queue.popleft()
             job.node = node
+            if self.on_assign is not None:
+                self.on_assign(job, node, dict(self._free))
             self._free[node.node_id] -= 1
             self.env.process(self._run(job))
 

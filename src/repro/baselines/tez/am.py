@@ -35,6 +35,7 @@ from repro.core.engine import (
 )
 from repro.core.execution import run_task_in_container
 from repro.hdfs.filesystem import HdfsClient
+from repro.obs.events import FileStaged, SchedulingDecision
 from repro.tools.profile import ToolRegistry
 from repro.workflow.model import TaskSpec, WorkflowGraph
 from repro.yarn.records import ContainerResource, ContainerState
@@ -89,6 +90,27 @@ class TezVertexBackend(ExecutionBackend):
                 self.chains -= 1
                 core.check_done()
                 return
+            bus = am.cluster.bus
+            if bus.wants(SchedulingDecision):
+                # Same decision vocabulary as the Hi-WAY schedulers so
+                # `explain` and the decision audit work on this engine:
+                # strict FIFO means the score is the queue position.
+                bus.emit(SchedulingDecision(
+                    workflow_id=core.workflow_id or "",
+                    policy="tez-fifo",
+                    kind="queue-bind",
+                    task_id=self.queue[0].task.task_id,
+                    node_id=container.node_id,
+                    candidate_kind="task",
+                    candidates=tuple(
+                        (queued.task.task_id, float(position))
+                        for position, queued in enumerate(self.queue)
+                    ),
+                    score_name="queue position",
+                    better="min",
+                    reason="strict FIFO: head of the vertex queue binds "
+                    "to the next allocated container",
+                ))
             attempt = self.queue.pop(0)  # strict FIFO, no locality
             core.attempt_running(attempt, container.node_id)
             watcher = am.rm.node_managers[container.node_id].launch(
@@ -245,3 +267,11 @@ class TezApplicationMaster:
         # task of the upstream vertex completes.
         vertex_name = self._vertex_of[attempt.task.task_id]
         self._remaining_in_vertex[vertex_name] -= 1
+        bus = self.cluster.bus
+        if result is not None and bus.wants(FileStaged):
+            for report in result.input_reports + result.output_reports:
+                bus.emit(FileStaged(
+                    workflow_id=self.core.workflow_id or "",
+                    task=attempt.task,
+                    report=report,
+                ))

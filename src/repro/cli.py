@@ -20,6 +20,13 @@ Usage::
         --input /in/data.csv=256                   # why task 'join' landed there
     python -m repro serve-sim --arrival poisson --rate-per-h 12 \\
         --horizon-s 86400 --seed 42                # a day of service traffic
+    python -m repro serve-sim --horizon-s 86400 --live \\
+        --events-out day.jsonl                     # live SLO + event journal
+    python -m repro report --from-journal day.jsonl   # offline, byte-identical
+    python -m repro slo-watch day.jsonl            # burn-rate / straggler scan
+    python -m repro explain-submission day.jsonl genomics/snv-0007
+    python -m repro report workflow.dax --engine tez \\
+        --input /in/data.csv=256                   # same report, Tez engine
 """
 
 from __future__ import annotations
@@ -115,9 +122,16 @@ def _parse_tenant_profile(spec: str):
         ) from None
 
 
-def _add_workflow_arguments(parser: argparse.ArgumentParser) -> None:
+def _add_workflow_arguments(
+    parser: argparse.ArgumentParser, workflow_optional: bool = False
+) -> None:
     """Arguments shared by every workflow-executing subcommand."""
-    parser.add_argument("workflow", help="workflow file (any supported language)")
+    if workflow_optional:
+        parser.add_argument("workflow", nargs="?",
+                            help="workflow file (any supported language); "
+                            "optional with --from-journal")
+    else:
+        parser.add_argument("workflow", help="workflow file (any supported language)")
     parser.add_argument("--language", choices=["cuneiform", "dax", "galaxy", "trace", "cwl"],
                         help="skip auto-detection")
     parser.add_argument("--workers", type=int, default=4)
@@ -150,6 +164,14 @@ def _add_workflow_arguments(parser: argparse.ArgumentParser) -> None:
                         help="cap a tenant's concurrently held containers "
                         "(and optionally vcores); repeatable")
     parser.add_argument("--quiet", action="store_true")
+
+
+def _add_engine_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--engine", choices=["hiway", "tez", "cloudman"],
+                        default="hiway",
+                        help="execution engine to run the workflow on "
+                        "(default: hiway); tez/cloudman need a static "
+                        "workflow graph (DAX, Galaxy, trace)")
 
 
 def _add_serve_arguments(parser: argparse.ArgumentParser) -> None:
@@ -231,11 +253,26 @@ def _add_serve_arguments(parser: argparse.ArgumentParser) -> None:
     slo.add_argument("--slo-max-rejection-pct", type=float, default=None,
                      help="maximum admission rejection rate, in percent")
 
+    telemetry = parser.add_argument_group("telemetry")
+    telemetry.add_argument("--events-out", metavar="PATH",
+                           help="journal every bus event to this JSONL "
+                           "file (replayable with 'report --from-journal' "
+                           "and 'slo-watch')")
+    telemetry.add_argument("--live", action="store_true",
+                           help="print rolling p50/p95/p99, burn-rate "
+                           "alerts and stragglers while the run plays")
+    telemetry.add_argument("--live-period-s", type=float, default=300.0,
+                           help="seconds of simulated time between live "
+                           "snapshots (default: 300)")
+
     parser.add_argument("--out", metavar="PATH",
                         help="also write the report here")
     parser.add_argument("--metrics-out", metavar="PATH",
                         help="also write the metrics registry as JSON here "
                         "(includes the backlog/queue-depth time series)")
+    parser.add_argument("--max-series-points", type=int, default=None,
+                        help="bound each service time series to N samples "
+                        "via stride decimation (default: unbounded)")
     parser.add_argument("--quiet", action="store_true")
 
 
@@ -284,6 +321,7 @@ def serve_command(args) -> int:
         adaptive_container_sizing=not args.fixed_containers,
         sample_period_s=args.sample_period_s,
         drain=not args.no_drain,
+        max_series_points=args.max_series_points,
         seed=args.seed,
     ))
     targets = SloTargets(
@@ -295,13 +333,33 @@ def serve_command(args) -> int:
             if args.slo_max_rejection_pct is not None else None
         ),
     )
-    report = runner.run(
-        arrivals,
-        tenants=tuple(args.tenant_profiles) or DEFAULT_TENANTS,
-        horizon_s=args.horizon_s,
-        targets=targets,
-        max_submissions=args.max_submissions,
-    )
+    journal = monitor = None
+    if args.events_out:
+        from repro.obs.journal import EventJournal
+
+        journal = EventJournal(args.events_out)
+    if args.live:
+        from repro.obs.live import LiveMonitor
+
+        monitor = LiveMonitor(window_s=args.live_period_s, targets=targets)
+    try:
+        report = runner.run(
+            arrivals,
+            tenants=tuple(args.tenant_profiles) or DEFAULT_TENANTS,
+            horizon_s=args.horizon_s,
+            targets=targets,
+            max_submissions=args.max_submissions,
+            journal=journal,
+            monitor=monitor,
+            snapshot_every_s=args.live_period_s if args.live else None,
+            on_snapshot=None if args.quiet or not args.live else print,
+        )
+    finally:
+        if journal is not None:
+            journal.close()
+    if monitor is not None and not args.quiet:
+        print(monitor.summary())
+        print()
     text = report.render()
     if not args.quiet:
         print(text, end="")
@@ -315,6 +373,9 @@ def serve_command(args) -> int:
             handle.write(runner.registry.to_json() + "\n")
         if not args.quiet:
             print(f"metrics (JSON) saved to {args.metrics_out}")
+    if args.events_out and not args.quiet:
+        print(f"event journal saved to {args.events_out} "
+              f"({journal.events_written} events)")
     return 0 if report.passed() else 1
 
 
@@ -345,7 +406,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="execute a workflow and print the critical-path / bottleneck "
         "report (per-task slack, wait vs stage-in vs compute, locality)",
     )
-    _add_workflow_arguments(report)
+    _add_workflow_arguments(report, workflow_optional=True)
+    _add_engine_argument(report)
+    report.add_argument("--from-journal", metavar="FILE",
+                        help="rebuild the report offline from an event "
+                        "journal (written by 'serve-sim --events-out') "
+                        "instead of running a workflow")
     report.add_argument("--metrics-out", metavar="PATH",
                         help="also write the metrics registry as JSON here")
     report.add_argument("--prometheus-out", metavar="PATH",
@@ -359,7 +425,40 @@ def build_parser() -> argparse.ArgumentParser:
         "why one task was placed where it was",
     )
     _add_workflow_arguments(explain)
+    _add_engine_argument(explain)
     explain.add_argument("task_id", help="task to explain (e.g. 'join')")
+    slo_watch = subparsers.add_parser(
+        "slo-watch",
+        help="replay an event journal through the streaming SLO monitor "
+        "and print per-window stats, burn-rate alerts and stragglers",
+    )
+    slo_watch.add_argument("journal", help="journal file from "
+                           "'serve-sim --events-out'")
+    slo_watch.add_argument("--window-s", type=float, default=300.0,
+                           help="tumbling window width (default: 300)")
+    slo_watch.add_argument("--straggler-factor", type=float, default=3.0,
+                           help="flag attempts slower than FACTOR x the "
+                           "median of their tool (default: 3)")
+    slo_watch.add_argument("--quiet", action="store_true",
+                           help="only print the summary line")
+    explain_submission = subparsers.add_parser(
+        "explain-submission",
+        help="render per-submission span trees (admission wait, task "
+        "attempts, retries) from an event journal, grouped by tenant",
+    )
+    explain_submission.add_argument("journal", help="journal file from "
+                                    "'serve-sim --events-out'")
+    explain_submission.add_argument("submission", nargs="?",
+                                    help="submission name (e.g. "
+                                    "'genomics/snv-0007'); omitted = list "
+                                    "all submissions")
+    explain_submission.add_argument("--tenant", default=None,
+                                    help="restrict the listing to one tenant")
+    explain_submission.add_argument("--trace-out", metavar="PATH",
+                                    help="export every span tree as a Chrome "
+                                    "trace_event JSON grouped by tenant")
+    explain_submission.add_argument("--max-attempts", type=int, default=30,
+                                    help="attempt rows per tree (default: 30)")
     serve = subparsers.add_parser(
         "serve-sim",
         help="run the installation as a long-lived service under an "
@@ -460,6 +559,92 @@ def _execute_workflow(
     return hiway, result
 
 
+def _execute_on_engine(args, before_run=None):
+    """Run the workflow on the Tez or CloudMan baseline engine.
+
+    Returns ``(registry, result)`` or an int exit code. Both engines
+    publish the shared event vocabulary (workflow/task/file/scheduler
+    topics) on the cluster bus, so the same observers the Hi-WAY path
+    attaches — critical-path analyzer, decision auditor, metrics
+    registry — work unchanged; ``before_run`` receives the bus.
+    Dynamic sources (Cuneiform) have no static graph and are rejected.
+    """
+    from repro.obs.registry import MetricsRegistry
+    from repro.tools import default_registry
+
+    with open(args.workflow, "r", encoding="utf-8") as handle:
+        text = handle.read()
+    kwargs = {}
+    if args.bindings:
+        kwargs["input_bindings"] = dict(args.bindings)
+    try:
+        source = parse_workflow(text, language=args.language, **kwargs)
+    except ReproError as error:
+        print(f"error: cannot parse workflow: {error}", file=sys.stderr)
+        return 2
+    graph = getattr(source, "graph", None)
+    if graph is None:
+        print(f"error: the {args.engine} engine needs a static workflow "
+              "graph (DAX, Galaxy or trace); dynamic Cuneiform workflows "
+              "only run on hiway", file=sys.stderr)
+        return 2
+
+    env = Environment()
+    cluster = Cluster(env, ClusterSpec(
+        worker_spec=NODE_TYPES[args.node_type],
+        worker_count=args.workers,
+        master_count=args.masters,
+        backbone_mb_s=args.backbone_mb_s,
+    ))
+    registry = MetricsRegistry()
+    registry.attach(cluster.bus)
+    if before_run is not None:
+        before_run(cluster.bus)
+    tools = default_registry()
+    for node in cluster.all_nodes():
+        node.install(*(args.tools or tools.names()))
+    containers_per_node = args.containers_per_node or 3
+    if args.engine == "tez":
+        from repro.baselines.tez import TezApplicationMaster
+        from repro.hdfs import HdfsClient
+        from repro.yarn import ContainerResource, ResourceManager
+
+        hdfs = HdfsClient(cluster, seed=0)
+        rm = ResourceManager(
+            env, cluster, max_containers_per_node=containers_per_node
+        )
+        if args.inputs:
+            hdfs.stage_many(dict(args.inputs), seed=0)
+        am = TezApplicationMaster(
+            cluster, hdfs, rm, tools, graph,
+            container_resource=ContainerResource(
+                vcores=args.container_vcores,
+                memory_mb=args.container_memory_mb,
+            ),
+        )
+        process = env.process(am.run())
+        env.run(until=process)
+        result = process.value
+    else:
+        from repro.baselines.cloudman import GalaxyCloudMan
+
+        cloudman = GalaxyCloudMan(
+            cluster, tools, slots_per_node=containers_per_node
+        )
+        if args.inputs:
+            cloudman.stage_inputs(dict(args.inputs))
+        result = cloudman.run(graph)
+    if not args.quiet:
+        status = "SUCCEEDED" if result.success else "FAILED"
+        print(f"workflow {result.name!r} {status} "
+              f"[{args.engine}, {args.workers} x {args.node_type}]")
+        print(f"  simulated runtime: {result.runtime_seconds:.1f}s "
+              f"({result.runtime_seconds / 60:.1f} min)")
+        for diagnostic in result.diagnostics:
+            print(f"  diagnostic: {diagnostic}")
+    return registry, result
+
+
 def run_command(args) -> int:
     """Execute the ``run`` subcommand; returns the exit code."""
     outcome = _execute_workflow(args)
@@ -499,31 +684,87 @@ def trace_command(args) -> int:
     return 0 if result.success else 1
 
 
-def report_command(args) -> int:
-    """Execute the ``report`` subcommand; returns the exit code."""
+def _report_from_journal(args) -> int:
+    """``report --from-journal``: rebuild reports offline from a journal."""
     from repro.obs.analysis import CriticalPathAnalyzer, render_report
+    from repro.obs.journal import (
+        JournalError,
+        load_registry,
+        load_service_report,
+        read_journal,
+    )
 
-    analyzers: dict[str, CriticalPathAnalyzer] = {}
-
-    def attach_analyzer(hiway) -> None:
-        analyzers["cp"] = CriticalPathAnalyzer(hiway.bus)
-
-    outcome = _execute_workflow(args, before_run=attach_analyzer)
-    if isinstance(outcome, int):
-        return outcome
-    hiway, result = outcome
-    analysis = analyzers["cp"].analysis(result.workflow_id)
-    print()
-    print(render_report(analysis, registry=hiway.registry,
-                        max_tasks=args.max_tasks))
+    try:
+        meta, events = read_journal(args.from_journal)
+    except (OSError, JournalError) as error:
+        print(f"error: cannot read journal: {error}", file=sys.stderr)
+        return 2
+    if "service" in meta:
+        # A serve-sim journal: rebuild the SLO report byte-for-byte.
+        report = load_service_report(args.from_journal)
+        print(report.render(), end="")
+        registry = load_registry(events)
+        exit_code = 0 if report.passed() else 1
+    else:
+        registry = load_registry(events)
+        analyzer = CriticalPathAnalyzer()
+        analyzer.replay(events)
+        analysis = analyzer.analysis()
+        print(render_report(analysis, registry=registry,
+                            max_tasks=args.max_tasks))
+        exit_code = 0
     if args.metrics_out:
         with open(args.metrics_out, "w", encoding="utf-8") as handle:
-            handle.write(hiway.registry.to_json() + "\n")
+            handle.write(registry.to_json() + "\n")
         if not args.quiet:
             print(f"\nmetrics (JSON) saved to {args.metrics_out}")
     if args.prometheus_out:
         with open(args.prometheus_out, "w", encoding="utf-8") as handle:
-            handle.write(hiway.registry.to_prometheus())
+            handle.write(registry.to_prometheus())
+        if not args.quiet:
+            print(f"metrics (Prometheus) saved to {args.prometheus_out}")
+    return exit_code
+
+
+def report_command(args) -> int:
+    """Execute the ``report`` subcommand; returns the exit code."""
+    from repro.obs.analysis import CriticalPathAnalyzer, render_report
+
+    if args.from_journal:
+        return _report_from_journal(args)
+    if not args.workflow:
+        print("error: a workflow file (or --from-journal) is required",
+              file=sys.stderr)
+        return 2
+
+    analyzers: dict[str, CriticalPathAnalyzer] = {}
+
+    if args.engine == "hiway":
+        def attach_analyzer(hiway) -> None:
+            analyzers["cp"] = CriticalPathAnalyzer(hiway.bus)
+
+        outcome = _execute_workflow(args, before_run=attach_analyzer)
+    else:
+        def attach_analyzer(bus) -> None:
+            analyzers["cp"] = CriticalPathAnalyzer(bus)
+
+        outcome = _execute_on_engine(args, before_run=attach_analyzer)
+    if isinstance(outcome, int):
+        return outcome
+    engine, result = outcome
+    registry = engine.registry if args.engine == "hiway" else engine
+    analysis = analyzers["cp"].analysis(result.workflow_id)
+    print()
+    print(render_report(analysis, registry=registry,
+                        max_tasks=args.max_tasks))
+    if args.metrics_out:
+        with open(args.metrics_out, "w", encoding="utf-8") as handle:
+            handle.write(registry.to_json() + "\n")
+        if not args.quiet:
+            print(f"\nmetrics (JSON) saved to {args.metrics_out}")
+    if args.prometheus_out:
+        with open(args.prometheus_out, "w", encoding="utf-8") as handle:
+            handle.write(registry.to_prometheus())
         if not args.quiet:
             print(f"metrics (Prometheus) saved to {args.prometheus_out}")
     return 0 if result.success else 1
@@ -531,21 +772,134 @@ def report_command(args) -> int:
 
 def explain_command(args) -> int:
     """Execute the ``explain`` subcommand; returns the exit code."""
-    outcome = _execute_workflow(args, decision_audit=True)
-    if isinstance(outcome, int):
-        return outcome
-    hiway, result = outcome
+    if args.engine == "hiway":
+        outcome = _execute_workflow(args, decision_audit=True)
+        if isinstance(outcome, int):
+            return outcome
+        hiway, result = outcome
+        auditor = hiway.auditor
+    else:
+        from repro.obs.decisions import DecisionAuditor
+
+        auditors: dict[str, DecisionAuditor] = {}
+
+        def attach_auditor(bus) -> None:
+            auditors["audit"] = DecisionAuditor(bus)
+
+        outcome = _execute_on_engine(args, before_run=attach_auditor)
+        if isinstance(outcome, int):
+            return outcome
+        _, result = outcome
+        auditor = auditors["audit"]
     print()
     try:
-        print(hiway.auditor.explain(args.task_id))
+        print(auditor.explain(args.task_id))
     except KeyError:
         print(f"error: no scheduling decisions recorded for task "
               f"{args.task_id!r}", file=sys.stderr)
-        known = hiway.auditor.task_ids()
+        known = auditor.task_ids()
         if known:
             print("known task ids: " + ", ".join(known), file=sys.stderr)
         return 1
     return 0 if result.success else 1
+
+
+def slo_watch_command(args) -> int:
+    """Execute the ``slo-watch`` subcommand; returns the exit code.
+
+    Exit code 1 means at least one burn-rate alert fired during the
+    replay — the command doubles as a post-hoc SLO gate over a journal.
+    """
+    from repro.obs.bus import EventBus
+    from repro.obs.journal import JournalError, read_journal, replay
+    from repro.obs.live import LiveMonitor
+
+    try:
+        meta, events = read_journal(args.journal)
+    except (OSError, JournalError) as error:
+        print(f"error: cannot read journal: {error}", file=sys.stderr)
+        return 2
+    from repro.obs.events import ServiceSample
+
+    targets = None
+    # The run epoch: the service runner's first sample fires at t0.
+    epoch = next(
+        (e.t - e.rel_t for e in events if isinstance(e, ServiceSample)), 0.0
+    )
+    service = meta.get("service")
+    if service and service.get("targets"):
+        from repro.service import SloTargets
+
+        targets = SloTargets(**service["targets"])
+    monitor = LiveMonitor(
+        window_s=args.window_s,
+        targets=targets,
+        straggler_factor=args.straggler_factor,
+        epoch=epoch,
+    )
+    bus = EventBus()
+    monitor.attach(bus)
+    replay(events, bus)
+    monitor.close()
+    monitor.detach()
+    if not args.quiet:
+        for window in monitor.all_windows():
+            print(window.line())
+        if monitor.all_windows():
+            print()
+    print(monitor.summary())
+    return 1 if monitor.alerts else 0
+
+
+def explain_submission_command(args) -> int:
+    """Execute the ``explain-submission`` subcommand; returns the exit code."""
+    from repro.obs.journal import JournalError, read_journal
+    from repro.obs.spans import (
+        build_submission_spans,
+        render_submission,
+        to_chrome_trace,
+    )
+
+    try:
+        _, events = read_journal(args.journal)
+    except (OSError, JournalError) as error:
+        print(f"error: cannot read journal: {error}", file=sys.stderr)
+        return 2
+    spans = build_submission_spans(events)
+    if args.tenant:
+        spans = [span for span in spans if span.tenant == args.tenant]
+    if not spans:
+        print("no submissions found in the journal", file=sys.stderr)
+        return 1
+    if args.submission:
+        matches = [span for span in spans if span.name == args.submission]
+        if not matches:
+            print(f"error: no submission named {args.submission!r}",
+                  file=sys.stderr)
+            print("known submissions: "
+                  + ", ".join(span.name for span in spans), file=sys.stderr)
+            return 1
+        for span in matches:
+            print(render_submission(span, max_attempts=args.max_attempts))
+    else:
+        tenant: object = object()  # sentinel: even a None tenant prints
+        ordered = sorted(
+            spans, key=lambda s: (s.tenant or "", s.submitted_at or 0.0)
+        )
+        for span in ordered:
+            if span.tenant != tenant:
+                tenant = span.tenant
+                print(f"tenant {tenant or 'untenanted'}:")
+            print(f"  {span.name:<28s} {span.outcome:<9s} "
+                  f"queue {span.queue_wait_s:8.1f}s  "
+                  f"latency {span.latency_s:8.1f}s  "
+                  f"attempts {len(span.attempts)}")
+    if args.trace_out:
+        with open(args.trace_out, "w", encoding="utf-8") as handle:
+            handle.write(to_chrome_trace(spans))
+        print(f"chrome trace saved to {args.trace_out} "
+              "(open in chrome://tracing or https://ui.perfetto.dev)")
+    return 0
 
 
 def main(argv: Optional[list[str]] = None) -> int:
@@ -561,6 +915,10 @@ def main(argv: Optional[list[str]] = None) -> int:
         return explain_command(args)
     if args.command == "serve-sim":
         return serve_command(args)
+    if args.command == "slo-watch":
+        return slo_watch_command(args)
+    if args.command == "explain-submission":
+        return explain_submission_command(args)
     if args.command == "experiments":
         from repro.experiments.__main__ import main as experiments_main
 

@@ -28,6 +28,8 @@ from repro.obs.events import (
     NodeCrashed,
     ObsEvent,
     SchedulingDecision,
+    ServiceSample,
+    SubmissionFinished,
     TaskAttemptFinished,
     TaskDispatched,
     TaskRetried,
@@ -36,7 +38,31 @@ from repro.obs.events import (
     WorkflowStarted,
     WorkflowSubmitted,
 )
+from repro.obs.journal import (
+    EventJournal,
+    JournalError,
+    iter_events,
+    load_registry,
+    load_service_report,
+    read_journal,
+    replay,
+)
+from repro.obs.live import (
+    Alert,
+    BurnRateRule,
+    DEFAULT_RULES,
+    LiveMonitor,
+    StragglerAlert,
+    WindowStats,
+)
 from repro.obs.registry import Counter, Gauge, Histogram, MetricsRegistry, Series
+from repro.obs.spans import (
+    AttemptSpan,
+    SubmissionSpan,
+    build_submission_spans,
+    render_submission,
+    to_chrome_trace,
+)
 from repro.obs.tracer import Tracer
 
 __all__ = [
@@ -52,9 +78,29 @@ __all__ = [
     "CriticalPathAnalyzer",
     "WorkflowAnalysis",
     "render_report",
+    "EventJournal",
+    "JournalError",
+    "iter_events",
+    "read_journal",
+    "replay",
+    "load_registry",
+    "load_service_report",
+    "LiveMonitor",
+    "BurnRateRule",
+    "DEFAULT_RULES",
+    "WindowStats",
+    "Alert",
+    "StragglerAlert",
+    "AttemptSpan",
+    "SubmissionSpan",
+    "build_submission_spans",
+    "render_submission",
+    "to_chrome_trace",
     "ObsEvent",
     "TOPICS",
     "SchedulingDecision",
+    "ServiceSample",
+    "SubmissionFinished",
     "WorkflowSubmitted",
     "WorkflowStarted",
     "WorkflowFinished",

@@ -144,6 +144,16 @@ class EventBus:
             return event
         event.t = self.env.now if self.env is not None else 0.0
         event.seq = next(self._seq)
+        return self.deliver(event)
+
+    def deliver(self, event: ObsEvent) -> ObsEvent:
+        """Deliver an already-stamped event without touching ``t``/``seq``.
+
+        The journal replay path: recorded events carry the simulated
+        clock of the run that produced them, and re-stamping them with
+        this bus's (idle) clock would destroy the timeline. Live
+        publishers use :meth:`emit`; loaders use this.
+        """
         for handler in self._by_type.get(type(event), _EMPTY):
             handler(event)
         for handler in self._by_topic.get(event.topic, _EMPTY):

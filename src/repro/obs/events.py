@@ -39,6 +39,8 @@ __all__ = [
     "WorkflowSubmitted",
     "WorkflowStarted",
     "WorkflowFinished",
+    "SubmissionFinished",
+    "ServiceSample",
     "TaskDispatched",
     "TaskRetried",
     "TaskAttemptFinished",
@@ -111,6 +113,42 @@ class WorkflowFinished(ObsEvent):
     name: str = ""
     runtime_seconds: float = 0.0
     success: bool = True
+
+
+@dataclass
+class SubmissionFinished(ObsEvent):
+    """A service submission reached its final state.
+
+    Published by the open-loop traffic harness when a submission's
+    result comes back, closing the interval opened by
+    :class:`WorkflowSubmitted`. Exactly one of three outcomes holds:
+    ``rejected`` (admission refused it), success, or failure.
+    """
+
+    topic: ClassVar[str] = "workflow"
+    name: str = ""
+    tenant: str = ""
+    workload: str = ""
+    success: bool = True
+    rejected: bool = False
+
+
+@dataclass
+class ServiceSample(ObsEvent):
+    """One sampler tick of the service-level time series.
+
+    Published by the traffic harness every ``sample_period_s`` so a
+    journal replay can rebuild the backlog/queue-depth/running-apps
+    series byte-for-byte. ``rel_t`` is seconds since the service run's
+    epoch (``t`` stays absolute simulated time).
+    """
+
+    topic: ClassVar[str] = "workflow"
+    rel_t: float = 0.0
+    backlog: float = 0.0
+    queue_depth: float = 0.0
+    running_apps: float = 0.0
+    pending_containers: float = 0.0
 
 
 # -- task topic (Sec. 3.5 task granularity) -----------------------------------

@@ -1,0 +1,433 @@
+"""Durable event journal: append-only JSONL over the observability bus.
+
+The bus makes a run observable *while it happens*; this module makes it
+observable *afterwards*. An :class:`EventJournal` subscribes to every
+event of a bus and appends one JSON line per event to a file, preceded
+by a schema-versioned header line carrying run metadata. The resulting
+journal is the durable record the provenance literature asks of
+workflow systems — a totally ordered, replayable stream — and the
+substrate for the offline tooling:
+
+* :func:`read_journal` / :func:`iter_events` — decode the stream back
+  into the original ``repro.obs.events`` dataclasses (``t``/``seq``
+  preserved);
+* :func:`replay` — deliver recorded events into a fresh bus via
+  :meth:`~repro.obs.bus.EventBus.deliver`, so any subscriber
+  (:class:`~repro.obs.registry.MetricsRegistry`,
+  :class:`~repro.obs.analysis.CriticalPathAnalyzer`,
+  :class:`~repro.obs.live.LiveMonitor`) works offline;
+* :func:`load_registry` — rebuild a metrics registry from a journal;
+* :func:`load_service_report` — rebuild the full
+  :class:`~repro.service.slo.ServiceReport` of the ``serve-sim`` run
+  that wrote the journal, byte-identical to the live report.
+
+File format (``hiway-journal/1``): UTF-8 JSONL. The first line is
+``{"schema": "hiway-journal/1", "meta": {...}}``; every further line is
+``{"e": <event class>, "t": <sim s>, "seq": <n>, ...payload}``.
+Unknown event names are skipped on read (forward compatibility), and a
+``schema`` mismatch is an error (the version exists to be checked).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import io
+import json
+from typing import Iterable, Iterator, Optional, TextIO, Union
+
+from repro.obs import events as ev
+from repro.obs.bus import EventBus, Subscription
+
+__all__ = [
+    "SCHEMA",
+    "EventJournal",
+    "JournalError",
+    "event_to_dict",
+    "event_from_dict",
+    "iter_events",
+    "read_journal",
+    "read_meta",
+    "replay",
+    "load_registry",
+    "load_service_report",
+]
+
+SCHEMA = "hiway-journal/1"
+
+#: Every concrete event class, by name (the ``"e"`` field of a line).
+EVENT_TYPES: dict[str, type] = {
+    cls.__name__: cls
+    for cls in vars(ev).values()
+    if isinstance(cls, type)
+    and issubclass(cls, ev.ObsEvent)
+    and cls is not ev.ObsEvent
+}
+
+#: Fields holding nested structures that need their own codec.
+_TASK_FIELDS = {"task"}
+_REPORT_FIELDS = {"report"}
+#: Tuple-of-tuples fields that JSON flattens to lists of lists.
+_PAIR_TUPLE_FIELDS = {"candidates", "placements"}
+
+
+class JournalError(Exception):
+    """A journal file is malformed or has an unsupported schema."""
+
+
+# -- codecs -------------------------------------------------------------------
+
+
+def _task_to_dict(task) -> dict:
+    return {
+        "tool": task.tool,
+        "inputs": list(task.inputs),
+        "outputs": list(task.outputs),
+        "signature": task.signature,
+        "task_id": task.task_id,
+        "command": task.command,
+        "output_size_hints": dict(task.output_size_hints),
+        "threads": task.threads,
+    }
+
+
+def _task_from_dict(payload: dict):
+    from repro.workflow.model import TaskSpec
+
+    return TaskSpec(**payload)
+
+
+def _report_to_dict(report) -> dict:
+    return {
+        "path": report.path,
+        "node_id": report.node_id,
+        "size_mb": report.size_mb,
+        "local_mb": report.local_mb,
+        "remote_mb": report.remote_mb,
+        "seconds": report.seconds,
+        "direction": report.direction,
+    }
+
+
+def _report_from_dict(payload: dict):
+    from repro.hdfs.filesystem import FileTransferReport
+
+    return FileTransferReport(**payload)
+
+
+def event_to_dict(event: ev.ObsEvent) -> dict:
+    """One event as a JSON-ready dict (``e``, ``t``, ``seq``, payload)."""
+    record: dict = {"e": type(event).__name__, "t": event.t, "seq": event.seq}
+    for field in dataclasses.fields(event):
+        value = getattr(event, field.name)
+        if value is None:
+            record[field.name] = None
+        elif field.name in _TASK_FIELDS:
+            record[field.name] = _task_to_dict(value)
+        elif field.name in _REPORT_FIELDS:
+            record[field.name] = _report_to_dict(value)
+        elif isinstance(value, tuple):
+            record[field.name] = [
+                list(item) if isinstance(item, tuple) else item
+                for item in value
+            ]
+        else:
+            record[field.name] = value
+    return record
+
+
+def event_from_dict(record: dict) -> Optional[ev.ObsEvent]:
+    """Rebuild the event a :func:`event_to_dict` line describes.
+
+    Returns ``None`` for event names this build does not know (journals
+    written by newer versions stay readable).
+    """
+    cls = EVENT_TYPES.get(record.get("e", ""))
+    if cls is None:
+        return None
+    kwargs = {}
+    for field in dataclasses.fields(cls):
+        if field.name not in record:
+            continue  # field added after the journal was written
+        value = record[field.name]
+        if value is None:
+            kwargs[field.name] = None
+        elif field.name in _TASK_FIELDS:
+            kwargs[field.name] = _task_from_dict(value)
+        elif field.name in _REPORT_FIELDS:
+            kwargs[field.name] = _report_from_dict(value)
+        elif field.name in _PAIR_TUPLE_FIELDS:
+            kwargs[field.name] = tuple(
+                tuple(item) if isinstance(item, list) else item
+                for item in value
+            )
+        else:
+            kwargs[field.name] = value
+    event = cls(**kwargs)
+    event.t = float(record.get("t", 0.0))
+    event.seq = int(record.get("seq", -1))
+    return event
+
+
+# -- writer -------------------------------------------------------------------
+
+
+class EventJournal:
+    """Bus subscriber appending every event to a JSONL stream.
+
+    The header line is written on :meth:`write_header` (explicit
+    metadata) or lazily before the first event (empty metadata). The
+    journal flushes on :meth:`close`, not per event — a run writes one
+    line per event and the cost is the JSON encode, not a syscall.
+    """
+
+    def __init__(self, destination: Union[str, TextIO]):
+        if isinstance(destination, str):
+            self._handle: TextIO = open(destination, "w", encoding="utf-8")
+            self._owns_handle = True
+        else:
+            self._handle = destination
+            self._owns_handle = False
+        self._header_written = False
+        self._subscription: Optional[Subscription] = None
+        self.events_written = 0
+
+    def write_header(self, meta: Optional[dict] = None) -> None:
+        """Write the schema/meta header line (at most once)."""
+        if self._header_written:
+            raise JournalError("journal header already written")
+        self._handle.write(json.dumps(
+            {"schema": SCHEMA, "meta": meta or {}}, sort_keys=True
+        ))
+        self._handle.write("\n")
+        self._header_written = True
+
+    def attach(self, bus: EventBus) -> None:
+        """Start journalling every event ``bus`` delivers."""
+        if self._subscription is not None:
+            raise JournalError("journal already attached to a bus")
+        self._subscription = bus.subscribe("*", self.record)
+
+    def detach(self) -> None:
+        """Stop journalling (the file stays open until :meth:`close`)."""
+        if self._subscription is not None:
+            self._subscription.cancel()
+            self._subscription = None
+
+    def record(self, event: ev.ObsEvent) -> None:
+        """Append one event (also usable as a plain bus handler)."""
+        if not self._header_written:
+            self.write_header()
+        self._handle.write(json.dumps(event_to_dict(event), sort_keys=True))
+        self._handle.write("\n")
+        self.events_written += 1
+
+    def close(self) -> None:
+        """Detach, flush, and close an owned file handle (idempotent)."""
+        self.detach()
+        if not self._header_written:
+            self.write_header()
+        self._handle.flush()
+        if self._owns_handle and not self._handle.closed:
+            self._handle.close()
+
+    def __enter__(self) -> "EventJournal":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+# -- readers ------------------------------------------------------------------
+
+
+def _open_for_read(source: Union[str, TextIO]) -> tuple[TextIO, bool]:
+    if isinstance(source, str):
+        return open(source, "r", encoding="utf-8"), True
+    return source, False
+
+
+def _check_header(line: str) -> dict:
+    try:
+        header = json.loads(line)
+    except json.JSONDecodeError as error:
+        raise JournalError(f"journal header is not JSON: {error}") from None
+    schema = header.get("schema")
+    if schema != SCHEMA:
+        raise JournalError(
+            f"unsupported journal schema {schema!r} (expected {SCHEMA!r})"
+        )
+    return header.get("meta", {})
+
+
+def read_meta(source: Union[str, TextIO]) -> dict:
+    """The header metadata of a journal (without decoding events)."""
+    handle, owned = _open_for_read(source)
+    try:
+        first = handle.readline()
+        if not first:
+            raise JournalError("journal is empty (no header line)")
+        return _check_header(first)
+    finally:
+        if owned:
+            handle.close()
+
+
+def iter_events(source: Union[str, TextIO]) -> Iterator[ev.ObsEvent]:
+    """Decode a journal's events in recorded order (header checked)."""
+    handle, owned = _open_for_read(source)
+    try:
+        first = handle.readline()
+        if not first:
+            raise JournalError("journal is empty (no header line)")
+        _check_header(first)
+        for number, line in enumerate(handle, start=2):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as error:
+                raise JournalError(
+                    f"journal line {number} is not JSON: {error}"
+                ) from None
+            event = event_from_dict(record)
+            if event is not None:
+                yield event
+    finally:
+        if owned:
+            handle.close()
+
+
+def read_journal(source: Union[str, TextIO]) -> tuple[dict, list[ev.ObsEvent]]:
+    """(meta, events) of a whole journal, loaded eagerly."""
+    handle, owned = _open_for_read(source)
+    try:
+        text = handle.read()
+    finally:
+        if owned:
+            handle.close()
+    buffer = io.StringIO(text)
+    meta = read_meta(io.StringIO(text))
+    return meta, list(iter_events(buffer))
+
+
+def replay(
+    events: Union[str, TextIO, Iterable[ev.ObsEvent]], bus: EventBus
+) -> int:
+    """Deliver recorded events into ``bus`` (timestamps preserved).
+
+    ``events`` may be a journal path/handle or an already-decoded
+    iterable. Returns the number of events delivered.
+    """
+    if isinstance(events, str) or hasattr(events, "readline"):
+        events = iter_events(events)  # type: ignore[arg-type]
+    count = 0
+    for event in events:
+        bus.deliver(event)
+        count += 1
+    return count
+
+
+# -- offline rebuilds ---------------------------------------------------------
+
+
+def load_registry(source: Union[str, TextIO]):
+    """Rebuild a :class:`~repro.obs.registry.MetricsRegistry` offline.
+
+    The registry subscribes its standard aggregations to a detached
+    bus, the journal replays through it, and the result carries the
+    same counters/histograms a live run would have accumulated from
+    these events.
+    """
+    from repro.obs.registry import MetricsRegistry
+
+    bus = EventBus()
+    registry = MetricsRegistry()
+    registry.attach(bus)
+    replay(source, bus)
+    registry.detach()
+    return registry
+
+
+def load_service_report(source: Union[str, TextIO]):
+    """Rebuild the ``serve-sim`` :class:`ServiceReport` from a journal.
+
+    Requires a journal written by the service runner (its header meta
+    carries the schedule, deployment line and SLO targets). The
+    rebuilt report renders byte-identically to the live one — the
+    replay-determinism contract guarded in CI.
+    """
+    from repro.obs.registry import Series
+    from repro.service.slo import ServiceReport, SloTargets, SubmissionRecord
+
+    handle, owned = _open_for_read(source)
+    try:
+        text = handle.read()
+    finally:
+        if owned:
+            handle.close()
+    meta = read_meta(io.StringIO(text))
+    service = meta.get("service")
+    if not service:
+        raise JournalError(
+            "journal has no 'service' metadata; only serve-sim journals "
+            "(--events-out) can rebuild a service report"
+        )
+    max_points = service.get("max_series_points")
+    submitted_at: dict[str, float] = {}
+    admitted_at: dict[str, float] = {}
+    finished: dict[str, tuple[float, bool, bool]] = {}
+    # Replayed through Series instances so a bounded run's stride
+    # decimation reproduces exactly.
+    backlog = Series("backlog", max_points=max_points)
+    queue_depth = Series("queue_depth", max_points=max_points)
+    running_apps = Series("running_apps", max_points=max_points)
+    last_sample_t = 0.0
+    # The run epoch: the first ServiceSample fires exactly at t0.
+    t0: Optional[float] = None
+    for event in iter_events(io.StringIO(text)):
+        if isinstance(event, ev.WorkflowSubmitted):
+            submitted_at[event.name] = event.t
+        elif isinstance(event, ev.WorkflowStarted):
+            if event.name in submitted_at:
+                admitted_at.setdefault(event.name, event.t)
+        elif isinstance(event, ev.SubmissionFinished):
+            finished[event.name] = (event.t, event.success, event.rejected)
+        elif isinstance(event, ev.ServiceSample):
+            if t0 is None:
+                t0 = event.t - event.rel_t
+            backlog.record(event.rel_t, event.backlog)
+            queue_depth.record(event.rel_t, event.queue_depth)
+            running_apps.record(event.rel_t, event.running_apps)
+            last_sample_t = event.rel_t
+    if t0 is None:
+        t0 = 0.0
+    records = []
+    for spec in service["schedule"]:
+        name = spec["name"]
+        final = finished.get(name)
+        records.append(SubmissionRecord(
+            index=int(spec["index"]),
+            name=name,
+            tenant=spec["tenant"],
+            kind=spec["kind"],
+            submitted_at=submitted_at.get(name, t0 + float(spec["at"])),
+            admitted_at=admitted_at.get(name),
+            finished_at=final[0] if final else None,
+            success=final[1] if final else False,
+            rejected=final[2] if final else False,
+        ))
+    targets = None
+    if service.get("targets") is not None:
+        targets = SloTargets(**service["targets"])
+    horizon_s = float(service["horizon_s"])
+    return ServiceReport(
+        traffic=service["traffic"],
+        setup=service["setup"],
+        horizon_s=max(last_sample_t, horizon_s),
+        records=records,
+        backlog=list(backlog.samples),
+        queue_depth=list(queue_depth.samples),
+        running_apps=list(running_apps.samples),
+        targets=targets,
+    )

@@ -29,13 +29,29 @@ from repro.obs import events as ev
 from repro.obs.bus import EventBus, Subscription
 
 __all__ = ["Counter", "Gauge", "Histogram", "Series", "MetricsRegistry",
-           "RUNTIME_BUCKETS", "LATENCY_BUCKETS"]
+           "RUNTIME_BUCKETS", "LATENCY_BUCKETS", "SERVICE_SERIES"]
 
 #: Task-runtime histogram bounds (seconds); tasks range from sub-second
 #: utilities to multi-hour aligners.
 RUNTIME_BUCKETS = (1.0, 5.0, 15.0, 60.0, 300.0, 1800.0, 7200.0)
 #: Allocation/wait latency bounds (seconds).
 LATENCY_BUCKETS = (0.1, 0.5, 1.0, 5.0, 30.0, 120.0, 600.0)
+
+#: The service-level time series fed by ``ServiceSample`` events:
+#: ``(metric name, help text, ServiceSample attribute)``. One shared
+#: definition so the live ``ServiceRunner`` (which pre-creates them
+#: with a ``max_points`` bound) and an offline journal replay register
+#: identical instruments.
+SERVICE_SERIES = (
+    ("hiway_service_backlog_depth",
+     "Submissions in the system (arrived, not yet final)", "backlog"),
+    ("hiway_service_admission_queue_depth",
+     "Submissions waiting for an admission slot", "queue_depth"),
+    ("hiway_service_running_apps",
+     "Applications registered at the RM", "running_apps"),
+    ("hiway_service_pending_containers",
+     "Container requests waiting for capacity", "pending_containers"),
+)
 
 
 def _label_key(labels: dict) -> tuple:
@@ -172,19 +188,44 @@ class Series(_Instrument):
     final value. JSON export carries the full sample list; the
     Prometheus text format (which has no native series type) exports the
     latest sample as a gauge.
+
+    ``max_points`` (optional) bounds memory for long service runs by
+    stride decimation: when the sample list would exceed the bound,
+    every second retained sample is dropped and the keep-stride
+    doubles, so the series always holds <= ``max_points`` evenly
+    spaced samples starting at the first record. Decimation is a pure
+    function of the record *count*, hence deterministic; the default
+    (``None``) keeps every sample, byte-identical to prior behaviour.
     """
 
     kind = "series"
 
-    def __init__(self, name: str, help: str = "", labelnames: Sequence[str] = ()):
+    def __init__(self, name: str, help: str = "", labelnames: Sequence[str] = (),
+                 max_points: Optional[int] = None):
         super().__init__(name, help, labelnames)
+        if max_points is not None and max_points < 2:
+            raise ValueError(
+                f"{name}: max_points must be >= 2, got {max_points}"
+            )
         #: Recorded ``(t, value)`` pairs in record order.
         self.samples: list[tuple[float, float]] = []
+        self.max_points = max_points
+        self._stride = 1
+        self._record_count = 0
 
     def _make_child(self) -> "Series":
-        return Series(self.name)
+        return Series(self.name, max_points=self.max_points)
 
     def record(self, t: float, value: float) -> None:
+        keep = self._record_count % self._stride == 0
+        self._record_count += 1
+        if not keep:
+            return
+        if self.max_points is not None and len(self.samples) >= self.max_points:
+            # Thin to every second sample; retained samples stay the
+            # multiples of the (doubled) stride, so future keeps align.
+            self.samples = self.samples[::2]
+            self._stride *= 2
         self.samples.append((float(t), float(value)))
 
     @property
@@ -243,9 +284,10 @@ class MetricsRegistry:
         return self._register(Histogram(name, buckets, help, labelnames))
 
     def series(self, name: str, help: str = "",
-               labelnames: Sequence[str] = ()) -> Series:
+               labelnames: Sequence[str] = (),
+               max_points: Optional[int] = None) -> Series:
         """Get or create the timestamped series ``name`` (idempotent)."""
-        return self._register(Series(name, help, labelnames))
+        return self._register(Series(name, help, labelnames, max_points))
 
     def get(self, name: str) -> Optional[_Instrument]:
         return self._instruments.get(name)
@@ -407,6 +449,14 @@ class MetricsRegistry:
                 workflow=event.workflow_id or "unknown"
             ).set(event.runtime_seconds)
 
+        def on_service_sample(event: ev.ServiceSample) -> None:
+            # Lazy get-or-create: when the service runner pre-created
+            # these with a max_points bound, that instrument wins.
+            for name, help_text, attr in SERVICE_SERIES:
+                self.series(name, help_text).record(
+                    event.rel_t, getattr(event, attr)
+                )
+
         for event_type, handler in [
             (ev.WorkflowSubmitted, on_submitted),
             (ev.TaskDispatched, on_dispatched),
@@ -422,6 +472,7 @@ class MetricsRegistry:
             (ev.NodeCrashed, on_crash),
             (ev.FaultInjected, on_fault),
             (ev.WorkflowFinished, on_workflow),
+            (ev.ServiceSample, on_service_sample),
         ]:
             self._subscriptions.append(bus.subscribe(event_type, handler))
 
@@ -445,8 +496,25 @@ class MetricsRegistry:
     # -- export -------------------------------------------------------------------
 
     @staticmethod
-    def _labels_text(key: tuple, extra: str = "") -> str:
-        parts = [f'{name}="{value}"' for name, value in key]
+    def _escape_label_value(value) -> str:
+        """Prometheus label-value escaping: backslash, quote, newline."""
+        return (
+            str(value)
+            .replace("\\", "\\\\")
+            .replace('"', '\\"')
+            .replace("\n", "\\n")
+        )
+
+    @staticmethod
+    def _escape_help(text: str) -> str:
+        """HELP-line escaping: backslash and newline (quotes stay)."""
+        return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+    @classmethod
+    def _labels_text(cls, key: tuple, extra: str = "") -> str:
+        parts = [
+            f'{name}="{cls._escape_label_value(value)}"' for name, value in key
+        ]
         if extra:
             parts.append(extra)
         return "{" + ",".join(parts) + "}" if parts else ""
@@ -496,7 +564,9 @@ class MetricsRegistry:
         for name in sorted(self._instruments):
             instrument = self._instruments[name]
             if instrument.help:
-                lines.append(f"# HELP {name} {instrument.help}")
+                lines.append(
+                    f"# HELP {name} {self._escape_help(instrument.help)}"
+                )
             # Prometheus has no series type; a series degrades to a
             # gauge carrying its most recent sample.
             kind = "gauge" if instrument.kind == "series" else instrument.kind

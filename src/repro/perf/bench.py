@@ -296,6 +296,38 @@ def _bench_service_openloop(quick: bool) -> tuple[int, float]:
     return report.submitted, wall
 
 
+def _bench_obs_journal(quick: bool) -> tuple[int, float]:
+    """Event-journal overhead: the service run with the journal attached.
+
+    Measures the wall cost of serialising every bus event to JSONL while
+    the open-loop harness runs — the knob an operator weighs when
+    deciding to leave ``--events-out`` on in production. Ops is the
+    number of events journalled, so ops/s is the journal's sustained
+    event rate (compare wall against ``service_openloop``, the same run
+    detached).
+    """
+    import io
+
+    from repro.obs.journal import EventJournal
+    from repro.service import ServiceConfig, ServiceRunner, make_arrivals
+
+    horizon = 1800.0 if quick else 3600.0
+    runner = ServiceRunner(ServiceConfig(
+        workers=4, max_concurrent_apps=4, sample_period_s=120.0, seed=0
+    ))
+    journal = EventJournal(io.StringIO())
+    started = time.perf_counter()
+    report = runner.run(
+        make_arrivals("poisson", 30.0 / 3600.0, seed=0),
+        horizon_s=horizon,
+        journal=journal,
+    )
+    wall = time.perf_counter() - started
+    assert report.submitted > 0 and not report.failed
+    assert journal.events_written > 0
+    return journal.events_written, wall
+
+
 def _bench_end_to_end_fig9(quick: bool) -> tuple[int, float]:
     """Whole-system run: the Fig. 9 stressed-cluster HEFT harness."""
     from repro.experiments.fig9 import Fig9Config, _one_experiment
@@ -321,6 +353,7 @@ BENCHMARKS: dict[str, Callable[[bool], tuple[int, float]]] = {
     "end_to_end_snv": _bench_end_to_end_snv,
     "end_to_end_fig9": _bench_end_to_end_fig9,
     "service_openloop": _bench_service_openloop,
+    "obs_journal": _bench_obs_journal,
 }
 
 

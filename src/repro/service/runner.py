@@ -23,7 +23,7 @@ text) as every other metric.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 from typing import Optional, Sequence
 
 from repro.cluster import Cluster, ClusterSpec, XEON_E5_2620
@@ -31,6 +31,7 @@ from repro.core import HiWay, HiWayConfig
 from repro.hdfs import HdfsClient
 from repro.langs import CuneiformSource, DaxSource, GalaxySource
 from repro.obs import events as ev
+from repro.obs.registry import SERVICE_SERIES
 from repro.service.arrivals import ArrivalProcess
 from repro.service.slo import ServiceReport, SloTargets, SubmissionRecord
 from repro.service.traffic import (
@@ -86,6 +87,10 @@ class ServiceConfig:
     adaptive_container_sizing: bool = True
     #: Seconds between backlog/queue-depth samples.
     sample_period_s: float = 60.0
+    #: Bound on retained samples per service time series (None = keep
+    #: all). Long runs decimate deterministically; see
+    #: :class:`~repro.obs.registry.Series`.
+    max_series_points: Optional[int] = None
     #: Whether the run drains every admitted workflow after the last
     #: arrival (True) or cuts off at the horizon leaving in-flight
     #: submissions unfinished (False).
@@ -264,19 +269,33 @@ class ServiceRunner:
             for diagnostic in result.diagnostics
         )
         self._finished[spec.name] = (self.env.now, result.success, rejected)
+        if self.bus.wants(ev.SubmissionFinished):
+            self.bus.emit(ev.SubmissionFinished(
+                name=spec.name, tenant=spec.tenant, workload=spec.kind,
+                success=result.success, rejected=rejected,
+            ))
 
-    def _sampler(self, backlog, queue_depth, running, pending):
+    def _sampler(self):
         while True:
-            self._sample(backlog, queue_depth, running, pending)
+            self._sample()
             yield self.env.timeout(self.config.sample_period_s)
 
-    def _sample(self, backlog, queue_depth, running, pending) -> None:
-        t = self.env.now - self._t0
-        in_system = len(self._submitted_at) - len(self._finished)
-        backlog.record(t, in_system)
-        queue_depth.record(t, self.hiway.rm.admission_queue_depth())
-        running.record(t, self.hiway.rm.active_application_count())
-        pending.record(t, self.hiway.rm.pending_request_count())
+    def _sample(self) -> None:
+        # Published as an event (not recorded directly): the attached
+        # registry folds it into the hiway_service_* series, and the
+        # same handler reproduces them from a journal replay.
+        self.bus.emit(ev.ServiceSample(
+            rel_t=self.env.now - self._t0,
+            backlog=float(len(self._submitted_at) - len(self._finished)),
+            queue_depth=float(self.hiway.rm.admission_queue_depth()),
+            running_apps=float(self.hiway.rm.active_application_count()),
+            pending_containers=float(self.hiway.rm.pending_request_count()),
+        ))
+
+    def _snapshot_loop(self, monitor, every_s: float, sink):
+        while True:
+            yield self.env.timeout(every_s)
+            sink(monitor.snapshot(self.env.now - self._t0))
 
     # -- entry point ------------------------------------------------------------
 
@@ -287,6 +306,10 @@ class ServiceRunner:
         horizon_s: float = 3600.0,
         targets: Optional[SloTargets] = None,
         max_submissions: Optional[int] = None,
+        journal=None,
+        monitor=None,
+        snapshot_every_s: Optional[float] = None,
+        on_snapshot=None,
     ) -> ServiceReport:
         """Play ``arrivals`` against the installation; return the report.
 
@@ -296,30 +319,58 @@ class ServiceRunner:
         ``config.drain`` the run continues past the horizon until every
         admitted workflow finished; otherwise it cuts off at the horizon
         and in-flight submissions stay unfinished in the report.
+
+        ``journal`` (an :class:`~repro.obs.journal.EventJournal`) gets
+        the run's header metadata written and is attached to the bus
+        for the duration of the run — the caller closes it.
+        ``monitor`` (a :class:`~repro.obs.live.LiveMonitor`) is
+        attached likewise with its epoch set to the run start; with
+        ``snapshot_every_s`` and ``on_snapshot``, a sampler process
+        hands the callback a rendered snapshot each period.
         """
         schedule = build_schedule(
             arrivals, tenants, horizon_s, max_submissions=max_submissions
         )
+        if journal is not None:
+            # Attached before staging so the journal carries the whole
+            # event stream the live registry saw. The run's epoch (t0)
+            # is not in the header — staging runs the sim clock, so it
+            # is not known yet; readers derive it from the first
+            # ServiceSample (emitted exactly at t0 with rel_t == 0).
+            journal.write_header({"service": {
+                "traffic": arrivals.describe(),
+                "setup": self.config.setup_line(),
+                "horizon_s": horizon_s,
+                "targets": asdict(targets) if targets is not None else None,
+                "max_series_points": self.config.max_series_points,
+                "schedule": [
+                    {"index": spec.index, "name": spec.name,
+                     "tenant": spec.tenant, "kind": spec.kind, "at": spec.at}
+                    for spec in schedule
+                ],
+            }})
+            journal.attach(self.bus)
         self._stage({spec.kind for spec in schedule})
         self._t0 = self.env.now
-        backlog = self.registry.series(
-            "hiway_service_backlog_depth",
-            "Submissions in the system (arrived, not yet final)",
-        )
-        queue_depth = self.registry.series(
-            "hiway_service_admission_queue_depth",
-            "Submissions waiting for an admission slot",
-        )
-        running = self.registry.series(
-            "hiway_service_running_apps",
-            "Applications registered at the RM",
-        )
-        pending = self.registry.series(
-            "hiway_service_pending_containers",
-            "Container requests waiting for capacity",
+        if monitor is not None:
+            monitor.epoch = self._t0
+            if monitor.targets is None:
+                monitor.targets = targets
+            monitor.attach(self.bus)
+            if snapshot_every_s is not None and on_snapshot is not None:
+                self.env.process(
+                    self._snapshot_loop(monitor, snapshot_every_s, on_snapshot)
+                )
+        max_points = self.config.max_series_points
+        series = {
+            attr: self.registry.series(name, help_text, max_points=max_points)
+            for name, help_text, attr in SERVICE_SERIES
+        }
+        backlog, queue_depth, running = (
+            series["backlog"], series["queue_depth"], series["running_apps"]
         )
         processes = [self.env.process(self._drive(spec)) for spec in schedule]
-        self.env.process(self._sampler(backlog, queue_depth, running, pending))
+        self.env.process(self._sampler())
         if processes:
             if self.config.drain:
                 self.env.run(until=self.env.all_of(processes))
@@ -328,7 +379,11 @@ class ServiceRunner:
                 # are born triggered, which would stop the run at the
                 # first processed event instead of the horizon.
                 self.env.run(until=self._t0 + horizon_s)
-        self._sample(backlog, queue_depth, running, pending)
+        self._sample()
+        if monitor is not None:
+            monitor.close()
+        if journal is not None:
+            journal.detach()
 
         records = []
         for spec in schedule:

@@ -17,7 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
-from repro.experiments.common import mean, percentile
+from repro.stats import mean, percentile
 
 __all__ = ["SloTargets", "SubmissionRecord", "ServiceReport"]
 

@@ -1,0 +1,186 @@
+"""Tests for the durable event journal and its offline rebuilds."""
+
+import io
+import json
+
+import pytest
+
+from repro.obs.bus import EventBus
+from repro.obs.events import (
+    SchedulingDecision,
+    ServiceSample,
+    SubmissionFinished,
+    TaskAttemptFinished,
+    WorkflowSubmitted,
+)
+from repro.obs.journal import (
+    EVENT_TYPES,
+    EventJournal,
+    JournalError,
+    SCHEMA,
+    event_from_dict,
+    event_to_dict,
+    iter_events,
+    load_registry,
+    load_service_report,
+    read_journal,
+    read_meta,
+    replay,
+)
+from repro.service import ServiceConfig, ServiceRunner, SloTargets, make_arrivals
+from repro.workflow.model import TaskSpec
+
+
+def _stamp(event, t, seq):
+    event.t = t
+    event.seq = seq
+    return event
+
+
+def test_every_event_type_roundtrips_through_the_codec():
+    task = TaskSpec(tool="sort", inputs=["/in/a"], outputs=["/out/b"],
+                    task_id="t1")
+    samples = [
+        _stamp(WorkflowSubmitted(name="job-0", tenant="genomics",
+                                 workload="snv"), 1.5, 0),
+        _stamp(TaskAttemptFinished(workflow_id="wf-1", task=task,
+                                   node_id="worker-0", attempt=1,
+                                   success=True, makespan_seconds=12.25),
+               20.0, 7),
+        _stamp(SchedulingDecision(workflow_id="wf-1", policy="data-aware",
+                                  kind="placement", task_id="t1",
+                                  node_id="worker-0", candidate_kind="node",
+                                  candidates=(("worker-0", 3.0),
+                                              ("worker-1", 1.0)),
+                                  score_name="local MB", better="max",
+                                  reason="most local data"), 19.0, 6),
+        _stamp(SubmissionFinished(name="job-0", tenant="genomics",
+                                  workload="snv", success=True,
+                                  rejected=False), 90.0, 40),
+        _stamp(ServiceSample(rel_t=60.0, backlog=2.0, queue_depth=1.0,
+                             running_apps=3.0, pending_containers=4.0),
+               160.0, 41),
+    ]
+    for event in samples:
+        record = json.loads(json.dumps(event_to_dict(event)))
+        rebuilt = event_from_dict(record)
+        assert type(rebuilt) is type(event)
+        assert rebuilt.t == event.t and rebuilt.seq == event.seq
+        assert event_to_dict(rebuilt) == event_to_dict(event)
+    decision = event_from_dict(event_to_dict(samples[2]))
+    assert decision.candidates == (("worker-0", 3.0), ("worker-1", 1.0))
+
+
+def test_unknown_event_names_are_skipped_not_fatal():
+    assert event_from_dict({"e": "EventFromTheFuture", "t": 1.0}) is None
+    buffer = io.StringIO(
+        json.dumps({"schema": SCHEMA, "meta": {}}) + "\n"
+        + json.dumps({"e": "EventFromTheFuture", "t": 1.0, "seq": 0}) + "\n"
+        + json.dumps(event_to_dict(_stamp(
+            SubmissionFinished(name="j", tenant="t", workload="w",
+                               success=True, rejected=False), 5.0, 1
+        ))) + "\n"
+    )
+    events = list(iter_events(buffer))
+    assert len(events) == 1 and isinstance(events[0], SubmissionFinished)
+
+
+def test_schema_mismatch_and_garbage_raise_journal_error():
+    with pytest.raises(JournalError, match="unsupported journal schema"):
+        read_meta(io.StringIO('{"schema": "hiway-journal/99", "meta": {}}\n'))
+    with pytest.raises(JournalError, match="not JSON"):
+        read_meta(io.StringIO("not json\n"))
+    with pytest.raises(JournalError, match="empty"):
+        read_meta(io.StringIO(""))
+    bad_line = io.StringIO(
+        json.dumps({"schema": SCHEMA, "meta": {}}) + "\n{oops\n"
+    )
+    with pytest.raises(JournalError, match="line 2"):
+        list(iter_events(bad_line))
+
+
+def test_journal_attach_records_bus_traffic_and_replay_preserves_stamps():
+    bus = EventBus()
+    buffer = io.StringIO()
+    journal = EventJournal(buffer)
+    journal.write_header({"run": "unit"})
+    journal.attach(bus)
+    event = SubmissionFinished(name="j", tenant="t", workload="w",
+                               success=False, rejected=True)
+    event.t, event.seq = 42.0, 3
+    bus.deliver(event)
+    journal.close()
+
+    meta, events = read_journal(io.StringIO(buffer.getvalue()))
+    assert meta == {"run": "unit"}
+    assert len(events) == 1
+    assert events[0].t == 42.0 and events[0].seq == 3
+    assert events[0].rejected is True
+
+    # Replay delivers without re-stamping.
+    seen = []
+    sink = EventBus()
+    sink.subscribe(SubmissionFinished, seen.append)
+    assert replay(events, sink) == 1
+    assert seen[0].t == 42.0 and seen[0].seq == 3
+
+
+def test_event_type_table_covers_the_whole_vocabulary():
+    from repro.obs import events as ev
+
+    for name in ev.__all__:
+        cls = getattr(ev, name)
+        if isinstance(cls, type) and issubclass(cls, ev.ObsEvent) \
+                and cls is not ev.ObsEvent:
+            assert name in EVENT_TYPES
+
+
+def _serve(journal=None, max_series_points=None, horizon=3600.0):
+    runner = ServiceRunner(ServiceConfig(
+        workers=2, max_concurrent_apps=2, sample_period_s=120.0,
+        max_series_points=max_series_points, seed=0,
+    ))
+    report = runner.run(
+        make_arrivals("poisson", 20.0 / 3600.0, seed=3),
+        horizon_s=horizon,
+        targets=SloTargets(p99_s=4000.0),
+        journal=journal,
+    )
+    return runner, report
+
+
+def test_service_report_rebuilds_byte_identically_from_journal():
+    buffer = io.StringIO()
+    journal = EventJournal(buffer)
+    _, live = _serve(journal=journal)
+    journal.close()
+    rebuilt = load_service_report(io.StringIO(buffer.getvalue()))
+    assert rebuilt.render() == live.render()
+    assert rebuilt.passed() == live.passed()
+
+
+def test_service_report_rebuild_matches_under_series_decimation():
+    buffer = io.StringIO()
+    journal = EventJournal(buffer)
+    _, live = _serve(journal=journal, max_series_points=8, horizon=7200.0)
+    journal.close()
+    rebuilt = load_service_report(io.StringIO(buffer.getvalue()))
+    assert rebuilt.render() == live.render()
+    assert len(rebuilt.backlog) <= 8
+
+
+def test_load_registry_matches_the_live_registry():
+    buffer = io.StringIO()
+    journal = EventJournal(buffer)
+    runner, _ = _serve(journal=journal)
+    journal.close()
+    offline = load_registry(io.StringIO(buffer.getvalue()))
+    assert offline.to_prometheus() == runner.registry.to_prometheus()
+
+
+def test_load_service_report_requires_service_metadata():
+    buffer = io.StringIO()
+    with EventJournal(buffer) as journal:
+        journal.write_header({"run": "not-a-service"})
+    with pytest.raises(JournalError, match="service"):
+        load_service_report(io.StringIO(buffer.getvalue()))

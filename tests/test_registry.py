@@ -189,3 +189,110 @@ def test_attach_is_idempotent_and_detach_stops_updates():
     registry.detach()
     cluster.bus.emit(NodeCrashed(node_id="worker-1", containers_lost=1))
     assert registry.value("hiway_node_crashes_total") == 1
+
+
+# -- series decimation -----------------------------------------------------------
+
+
+def test_series_default_keeps_every_sample():
+    from repro.obs.registry import Series
+
+    series = Series("s")
+    for index in range(5000):
+        series.record(float(index), float(index) * 2.0)
+    assert len(series.samples) == 5000
+    assert series.samples[0] == (0.0, 0.0)
+    assert series.samples[-1] == (4999.0, 9998.0)
+
+
+def test_series_decimation_bounds_and_evenly_spaces_samples():
+    from repro.obs.registry import Series
+
+    series = Series("s", max_points=8)
+    for index in range(1000):
+        series.record(float(index), float(index))
+    assert len(series.samples) <= 8
+    # Retained samples stay evenly strided from the first record.
+    times = [t for t, _ in series.samples]
+    strides = {int(b - a) for a, b in zip(times, times[1:])}
+    assert len(strides) == 1
+    assert times[0] == 0.0
+
+
+def test_series_decimation_is_a_pure_function_of_record_count():
+    from repro.obs.registry import Series
+
+    first = Series("s", max_points=16)
+    second = Series("s", max_points=16)
+    for index in range(777):
+        first.record(float(index), float(index))
+    for index in range(777):
+        second.record(float(index), float(index))
+    assert first.samples == second.samples
+
+
+def test_series_rejects_tiny_max_points():
+    from repro.obs.registry import Series
+
+    with pytest.raises(ValueError):
+        Series("s", max_points=1)
+    Series("s", max_points=2)  # the smallest legal bound
+
+
+# -- Prometheus text-format conformance -------------------------------------------
+
+
+def _conformance_registry():
+    """A registry exercising every escaping and rendering rule."""
+    registry = MetricsRegistry()
+    jobs = registry.counter(
+        "conf_jobs_total",
+        'Jobs with "quotes", back\\slashes\nand a newline',
+        labelnames=("path",),
+    )
+    jobs.labels(path='C:\\data\\"in"\nq').inc(3)
+    jobs.labels(path="plain").inc()
+    registry.gauge("conf_depth", "Queue depth").set(2.5)
+    histogram = registry.histogram(
+        "conf_wait_seconds", buckets=(0.5, 2.0), help="Waits"
+    )
+    for value in (0.1, 1.0, 9.0):
+        histogram.observe(value)
+    series = registry.series("conf_backlog", "Backlog over time")
+    series.record(0.0, 1.0)
+    series.record(60.0, 4.0)
+    return registry
+
+
+def test_prometheus_export_matches_golden_file():
+    import pathlib
+
+    golden = pathlib.Path(__file__).parent / "golden" / "prometheus.txt"
+    assert _conformance_registry().to_prometheus() == golden.read_text()
+
+
+def test_prometheus_escaping_rules():
+    text = _conformance_registry().to_prometheus()
+    # Label values escape backslash, double quote and newline.
+    assert (
+        'conf_jobs_total{path="C:\\\\data\\\\\\"in\\"\\nq"} 3'
+        in text
+    )
+    # HELP escapes backslash and newline but leaves quotes alone.
+    assert (
+        '# HELP conf_jobs_total Jobs with "quotes", '
+        "back\\\\slashes\\nand a newline" in text
+    )
+    # Histograms emit cumulative buckets with +Inf, then _sum/_count.
+    lines = text.splitlines()
+    start = lines.index("# TYPE conf_wait_seconds histogram")
+    assert lines[start + 1 : start + 6] == [
+        'conf_wait_seconds_bucket{le="0.5"} 1',
+        'conf_wait_seconds_bucket{le="2"} 2',
+        'conf_wait_seconds_bucket{le="+Inf"} 3',
+        "conf_wait_seconds_sum 10.1",
+        "conf_wait_seconds_count 3",
+    ]
+    # A series degrades to a gauge carrying its latest sample.
+    assert "# TYPE conf_backlog gauge" in text
+    assert "conf_backlog 4" in text

@@ -1,0 +1,150 @@
+"""Tests for per-submission span trees and their Chrome trace export."""
+
+import json
+
+from repro.obs.events import (
+    ApplicationRegistered,
+    SubmissionFinished,
+    TaskAttemptFinished,
+    TaskDispatched,
+    TaskRetried,
+    WorkflowFinished,
+    WorkflowStarted,
+    WorkflowSubmitted,
+)
+from repro.obs.spans import (
+    build_submission_spans,
+    chrome_trace_events,
+    render_submission,
+    to_chrome_trace,
+)
+from repro.workflow.model import TaskSpec
+
+
+def _at(event, t):
+    event.t = t
+    return event
+
+
+def _service_stream():
+    """One admitted submission and one rejection, as a service emits them."""
+    task = TaskSpec(tool="bwa", inputs=[], outputs=[], task_id="align")
+    return [
+        _at(WorkflowSubmitted(name="job-0", tenant="genomics",
+                              workload="snv"), 10.0),
+        _at(WorkflowStarted(workflow_id="wf-1", name="job-0"), 25.0),
+        _at(TaskDispatched(workflow_id="wf-1", task_id="align"), 26.0),
+        _at(TaskRetried(workflow_id="wf-1", task_id="align", attempt=1,
+                        excluded_node="worker-1"), 31.0),
+        _at(TaskAttemptFinished(workflow_id="wf-1", task=task,
+                                node_id="worker-0", attempt=2, success=True,
+                                makespan_seconds=8.0), 40.0),
+        _at(WorkflowFinished(workflow_id="wf-1", name="job-0",
+                             success=True), 41.0),
+        _at(SubmissionFinished(name="job-0", tenant="genomics",
+                               workload="snv", success=True,
+                               rejected=False), 41.0),
+        _at(WorkflowSubmitted(name="job-1", tenant="ops",
+                              workload="snv"), 50.0),
+        _at(SubmissionFinished(name="job-1", tenant="ops", workload="snv",
+                               success=False, rejected=True), 50.5),
+    ]
+
+
+def test_build_spans_folds_the_service_lifecycle():
+    admitted, rejected = build_submission_spans(_service_stream())
+    assert admitted.name == "job-0" and admitted.tenant == "genomics"
+    assert admitted.queue_wait_s == 15.0
+    assert admitted.latency_s == 31.0
+    assert admitted.outcome == "SUCCEEDED"
+    assert admitted.retries == 1
+    assert len(admitted.attempts) == 1
+    attempt = admitted.attempts[0]
+    assert attempt.start == 32.0 and attempt.end == 40.0
+    assert attempt.wait_s == 6.0  # dispatch at 26, start at 32
+    assert rejected.outcome == "REJECTED"
+    assert rejected.latency_s == 0.5
+
+
+def test_spans_synthesised_for_engine_runs_without_a_service():
+    """Plain run / Tez / CloudMan streams still yield trees."""
+    task = TaskSpec(tool="mAdd", inputs=[], outputs=[], task_id="add")
+    events = [
+        _at(ApplicationRegistered(app_id="app-1", name="montage",
+                                  tenant="astro"), 0.0),
+        _at(WorkflowStarted(workflow_id="app-1", name="montage"), 1.0),
+        _at(TaskAttemptFinished(workflow_id="app-1", task=task,
+                                node_id="worker-0", attempt=1, success=True,
+                                makespan_seconds=4.0), 5.0),
+        _at(WorkflowFinished(workflow_id="app-1", name="montage",
+                             success=True), 6.0),
+    ]
+    (span,) = build_submission_spans(events)
+    assert span.name == "montage"
+    assert span.tenant == "astro"  # backfilled from ApplicationRegistered
+    assert span.submitted_at == 1.0 and span.admitted_at == 1.0
+    assert span.queue_wait_s == 0.0
+    assert span.outcome == "SUCCEEDED" and len(span.attempts) == 1
+
+
+def test_truncated_stream_stays_in_flight():
+    events = _service_stream()[:3]  # submitted, started, dispatched
+    (span,) = build_submission_spans(events)
+    assert span.outcome == "IN FLIGHT"
+    assert span.latency_s is None
+    text = render_submission(span)
+    assert "not finished" in text
+
+
+def test_render_submission_tree():
+    admitted, rejected = build_submission_spans(_service_stream())
+    text = render_submission(admitted)
+    assert text.splitlines()[0] == \
+        "submission job-0 (tenant genomics, snv): SUCCEEDED"
+    assert "admission wait: 15.0s" in text
+    assert "execution (wf-1): 16.0s, 1 attempts (0 failed, 1 retries)" in text
+    assert "align (bwa) on worker-0 #2" in text
+    assert "rejected by admission control" in render_submission(rejected)
+
+
+def test_render_caps_attempt_rows():
+    (span, _) = build_submission_spans(_service_stream())
+    span.attempts = span.attempts * 5
+    text = render_submission(span, max_attempts=2)
+    assert "... 3 more attempts" in text
+
+
+def test_chrome_trace_groups_process_per_tenant_thread_per_submission():
+    spans = build_submission_spans(_service_stream())
+    records = chrome_trace_events(spans)
+    names = {
+        record["args"]["name"]
+        for record in records if record["name"] == "process_name"
+    }
+    assert names == {"tenant genomics", "tenant ops"}
+    by_kind = {}
+    for record in records:
+        by_kind.setdefault(record.get("cat"), []).append(record)
+    assert len(by_kind["submission"]) == 2
+    assert len(by_kind["admission"]) == 1
+    assert len(by_kind["execution"]) == 1
+    assert len(by_kind["attempt"]) == 1
+    submission = by_kind["submission"][0]
+    assert submission["ph"] == "X"
+    assert submission["ts"] == 10.0 * 1e6
+    assert submission["dur"] == 31.0 * 1e6
+    # Distinct (pid, tid) per submission.
+    keys = {(r["pid"], r["tid"]) for r in by_kind["submission"]}
+    assert len(keys) == 2
+
+    document = json.loads(to_chrome_trace(spans))
+    assert document["displayTimeUnit"] == "ms"
+    assert len(document["traceEvents"]) == len(records)
+
+
+def test_chrome_trace_marks_incomplete_spans():
+    (span,) = build_submission_spans(_service_stream()[:5])
+    records = chrome_trace_events([span])
+    submission = [r for r in records if r.get("cat") == "submission"][0]
+    assert submission["args"]["incomplete"] is True
+    assert submission["dur"] == (40.0 - 10.0) * 1e6  # last attempt end
