@@ -1,0 +1,106 @@
+#!/usr/bin/env python3
+"""Interleaved A/B harness for the flow-solver hot benchmarks.
+
+Checks the base revision out into a temporary git worktree, then runs
+the benchmarks in alternating A/B/A/B passes so slow machine drift
+(thermal throttling, noisy neighbours) cancels out instead of biasing
+one side. Reports the median post/pre throughput ratio per benchmark.
+
+Usage:
+    python scripts/ab_flows.py                # working tree vs HEAD
+    python scripts/ab_flows.py --base HEAD~1  # e.g. after committing
+    python scripts/ab_flows.py --rounds 7 --quick
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import statistics
+import subprocess
+import sys
+import tempfile
+
+BENCHES = ["flow_rebalance", "end_to_end_fig9", "end_to_end_snv"]
+
+_SNIPPET = """\
+import json, sys
+sys.path.insert(0, {src!r})
+from repro.perf.bench import BENCHMARKS
+out = {{}}
+for name in {benches!r}:
+    fn = BENCHMARKS.get(name)
+    if fn is None:
+        continue  # benchmark absent at this revision
+    ops, wall = fn({quick!r})
+    out[name] = ops / wall
+print(json.dumps(out))
+"""
+
+
+def measure(src: str, quick: bool) -> dict[str, float]:
+    code = _SNIPPET.format(src=src, benches=BENCHES, quick=quick)
+    proc = subprocess.run(
+        [sys.executable, "-c", code],
+        capture_output=True,
+        text=True,
+        check=True,
+    )
+    return json.loads(proc.stdout.strip().splitlines()[-1])
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--base", default="HEAD", help="git rev to compare against")
+    parser.add_argument("--rounds", type=int, default=5, help="A/B pass pairs")
+    parser.add_argument("--quick", action="store_true", help="quick bench sizes")
+    args = parser.parse_args()
+
+    repo = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    head_src = os.path.join(repo, "src")
+    base_dir = tempfile.mkdtemp(prefix="ab-flows-")
+    subprocess.run(
+        ["git", "worktree", "add", "--detach", base_dir, args.base],
+        cwd=repo,
+        check=True,
+        capture_output=True,
+    )
+    try:
+        base_src = os.path.join(base_dir, "src")
+        pre: dict[str, list[float]] = {name: [] for name in BENCHES}
+        post: dict[str, list[float]] = {name: [] for name in BENCHES}
+        for round_index in range(args.rounds):
+            a = measure(base_src, args.quick)
+            b = measure(head_src, args.quick)
+            for name in BENCHES:
+                if name in a:
+                    pre[name].append(a[name])
+                if name in b:
+                    post[name].append(b[name])
+            print(f"round {round_index + 1}/{args.rounds} done", file=sys.stderr)
+        print(f"{'benchmark':<20} {'pre ops/s':>12} {'post ops/s':>12} {'ratio':>7}")
+        for name in BENCHES:
+            if not pre[name] or not post[name]:
+                print(f"{name:<20} {'absent at base':>12}")
+                continue
+            ratios = sorted(
+                q / p for p, q in zip(sorted(pre[name]), sorted(post[name]))
+            )
+            print(
+                f"{name:<20} {statistics.median(pre[name]):>12,.0f} "
+                f"{statistics.median(post[name]):>12,.0f} "
+                f"{statistics.median(ratios):>6.2f}x"
+            )
+    finally:
+        subprocess.run(
+            ["git", "worktree", "remove", "--force", base_dir],
+            cwd=repo,
+            check=False,
+            capture_output=True,
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

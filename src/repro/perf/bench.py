@@ -137,6 +137,80 @@ def _bench_flow_rebalance(quick: bool) -> tuple[int, float]:
     return 2 * n, time.perf_counter() - started
 
 
+def _bench_flow_churn(quick: bool) -> tuple[int, float]:
+    """Start/cancel churn against a large permanent background.
+
+    The open-loop service shape: hundreds of long-lived background
+    flows spread across many nodes while a rolling window of short
+    tasks comes and goes (half of them cancelled, exercising removal).
+    A from-scratch solver pays for every background flow on each
+    change; the incremental solver re-fills one node's component.
+    """
+    from repro.sim import Environment
+    from repro.sim.flows import FlowNetwork
+
+    n = 400 if quick else 2_500
+    env = Environment()
+    net = FlowNetwork(env)
+    nodes = [net.add_resource(f"node:{i}", 8.0, kind="cpu") for i in range(24)]
+    for node in nodes:
+        # Cap sum 9.0 > 8.0: every node stays contended throughout, so
+        # task churn appends to / leaves an existing component.
+        for _ in range(20):
+            net.start_flow(None, [node], cap=0.45, weight=0.3, label="bg")
+
+    def churn(env, net, count):
+        live = []
+        for k in range(count):
+            live.append(
+                net.start_flow(30.0, [nodes[k % 24]], cap=4.0, label="task")
+            )
+            if len(live) >= 8:
+                live.pop(0).cancel()
+            yield env.timeout(0.5)
+
+    env.process(churn(env, net, n))
+    started = time.perf_counter()
+    env.run()
+    return 2 * n, time.perf_counter() - started
+
+
+def _bench_flow_components(quick: bool) -> tuple[int, float]:
+    """Transfer churn across many independent racks.
+
+    Each rack's uplink is its own contention component; sizes are
+    staggered so completions land one at a time. Work per completion
+    should track the size of the touched component, not the cluster:
+    this is where component partitioning separates from a global
+    re-solve, which pays for all racks on every event.
+    """
+    from repro.sim import Environment
+    from repro.sim.flows import FlowNetwork
+
+    rounds = 20 if quick else 120
+    racks = 32
+    env = Environment()
+    net = FlowNetwork(env)
+    links = [
+        net.add_resource(f"uplink:{i}", 100.0, kind="net") for i in range(racks)
+    ]
+    for link in links:
+        net.start_flow(None, [link], weight=0.2, label="bg")
+
+    def churn(env, net, rounds):
+        for r in range(rounds):
+            transfers = [
+                net.start_flow(25.0 + 3.0 * i, [links[i]], label="xfer")
+                for i in range(racks)
+            ]
+            yield env.all_of([t.done for t in transfers])
+
+    env.process(churn(env, net, rounds))
+    started = time.perf_counter()
+    env.run()
+    return rounds * racks, time.perf_counter() - started
+
+
 def _locality_fixture():
     from repro.cluster import Cluster, ClusterSpec, M3_LARGE
     from repro.hdfs import HdfsClient
@@ -346,6 +420,8 @@ BENCHMARKS: dict[str, Callable[[bool], tuple[int, float]]] = {
     "kernel_timeouts": _bench_kernel_timeouts,
     "kernel_conditions": _bench_kernel_conditions,
     "flow_rebalance": _bench_flow_rebalance,
+    "flow_churn": _bench_flow_churn,
+    "flow_components": _bench_flow_components,
     "hdfs_locality_query": _bench_hdfs_locality_query,
     "hdfs_batch_scoring": _bench_hdfs_batch_scoring,
     "scheduler_data_aware": _bench_scheduler_data_aware,

@@ -1,6 +1,14 @@
 """Discrete-event simulation kernel and flow-level resource model."""
 
-from repro.sim.engine import AllOf, AnyOf, Environment, Event, Process, Timeout
+from repro.sim.engine import (
+    AllOf,
+    AnyOf,
+    Environment,
+    Event,
+    Process,
+    ScheduledCall,
+    Timeout,
+)
 from repro.sim.flows import Flow, FlowNetwork, Resource
 from repro.sim.metrics import MetricRecorder, ResourceUsage
 
@@ -10,6 +18,7 @@ __all__ = [
     "Environment",
     "Event",
     "Process",
+    "ScheduledCall",
     "Timeout",
     "Flow",
     "FlowNetwork",

@@ -34,6 +34,7 @@ from __future__ import annotations
 
 import heapq
 import itertools
+import math
 from heapq import heappush
 from typing import Callable, Generator, Iterable, Optional
 
@@ -46,6 +47,7 @@ __all__ = [
     "Process",
     "AllOf",
     "AnyOf",
+    "ScheduledCall",
 ]
 
 #: Sentinel distinguishing "no value yet" from a legitimate ``None`` value.
@@ -164,6 +166,42 @@ class _Deferred:
 
     def _process(self) -> None:
         self._fn(self._arg)
+
+
+class ScheduledCall:
+    """A cancellable timer: ``fn()`` runs at the scheduled time unless
+    :meth:`cancel` was called first.
+
+    This is the cancellation hook for subsystems that schedule plain
+    callbacks. Unlike a :class:`Timeout` plus version counter, a
+    cancelled call does no work when popped. A cancelled record stays in
+    the heap until its time arrives, but it is inert — callers that
+    re-aim a single rolling wake-up on every state change should use
+    :meth:`Environment.set_wake` instead, which replaces its target in
+    place and leaves no records behind.
+    """
+
+    __slots__ = ("_fn", "_cancelled")
+
+    _ok = True
+    _defused = False
+
+    def __init__(self, fn: Callable[[], None]):
+        self._fn = fn
+        self._cancelled = False
+
+    @property
+    def cancelled(self) -> bool:
+        """Whether :meth:`cancel` has been called."""
+        return self._cancelled
+
+    def cancel(self) -> None:
+        """Prevent the callback from running; idempotent."""
+        self._cancelled = True
+
+    def _process(self) -> None:
+        if not self._cancelled:
+            self._fn()
 
 
 class Timeout(Event):
@@ -339,7 +377,15 @@ class AnyOf(_Condition):
 class Environment:
     """Execution environment: event queue plus the simulation clock."""
 
-    __slots__ = ("_now", "_queue", "_eids", "_list_pool")
+    __slots__ = (
+        "_now",
+        "_queue",
+        "_eids",
+        "_list_pool",
+        "_wake_time",
+        "_wake_eid",
+        "_wake_fn",
+    )
 
     def __init__(self, initial_time: float = 0.0):
         self._now = float(initial_time)
@@ -347,6 +393,11 @@ class Environment:
         self._eids = itertools.count()
         #: Recycled callback lists, shared by every Event of this env.
         self._list_pool: list[list] = []
+        # The external wake slot: a single movable timer that lives
+        # outside the event heap (see set_wake). inf = unarmed.
+        self._wake_time = math.inf
+        self._wake_eid = 0
+        self._wake_fn: Optional[Callable[[], None]] = None
 
     @property
     def now(self) -> float:
@@ -366,6 +417,67 @@ class Environment:
     def process(self, generator: Generator) -> Process:
         """Register ``generator`` as a process and start it."""
         return Process(self, generator)
+
+    def call_later(self, delay: float, fn: Callable[[], None]) -> ScheduledCall:
+        """Schedule ``fn()`` to run ``delay`` seconds from now.
+
+        Returns a :class:`ScheduledCall` whose :meth:`ScheduledCall.cancel`
+        turns the queued record into a no-op. Cheaper than a
+        :class:`Timeout` with a callback when the caller may re-aim the
+        timer before it fires.
+        """
+        if delay < 0:
+            raise SimulationError(f"negative call_later delay: {delay}")
+        call = ScheduledCall(fn)
+        heappush(self._queue, (self._now + delay, 1, next(self._eids), call))
+        return call
+
+    def call_at(self, time: float, fn: Callable[[], None]) -> ScheduledCall:
+        """Schedule ``fn()`` to run at absolute simulated ``time``.
+
+        Unlike :meth:`call_later`, the target is taken verbatim — no
+        ``now + delay`` rounding — so a caller that re-arms a rolling
+        timer can hit a previously computed instant bit-for-bit. A time
+        in the past runs on the next step without rewinding the clock.
+        """
+        call = ScheduledCall(fn)
+        heappush(
+            self._queue,
+            (time if time > self._now else self._now, 1, next(self._eids), call),
+        )
+        return call
+
+    def set_wake(self, time: float, fn: Callable[[], None]) -> None:
+        """Aim the environment's single *external wake* at ``time``.
+
+        The wake is a movable timer that lives outside the event heap:
+        re-aiming it replaces the previous target in place, so a
+        subsystem that re-computes its next deadline on every state
+        change (the flow network's completion timer) leaves no stale
+        records behind no matter how often it re-aims. Each call
+        consumes a fresh event id, so against same-instant heap entries
+        the wake orders exactly as a :class:`Timeout` scheduled at the
+        moment of the call would — earlier events fire first, later
+        ones after. There is one slot per environment; the latest call
+        wins. A ``time`` at or before the current instant fires on the
+        next step without rewinding the clock.
+        """
+        self._wake_time = time
+        self._wake_eid = next(self._eids)
+        self._wake_fn = fn
+
+    def clear_wake(self) -> None:
+        """Disarm the external wake (no-op when unarmed)."""
+        self._wake_time = math.inf
+        self._wake_fn = None
+
+    def _fire_wake(self) -> None:
+        if self._wake_time > self._now:
+            self._now = self._wake_time
+        fn = self._wake_fn
+        self._wake_time = math.inf
+        self._wake_fn = None
+        fn()  # type: ignore[misc]
 
     def all_of(self, events: Iterable[Event]) -> AllOf:
         """Event firing once all of ``events`` have fired."""
@@ -427,26 +539,59 @@ class Environment:
 
         if stop_event is None and stop_time is None:
             # Fast path: run to exhaustion, no stop checks in the loop.
-            while queue:
-                item = pop(queue)
-                self._now = item[0]
+            while True:
+                wake = self._wake_time
+                if queue:
+                    item = queue[0]
+                    time = item[0]
+                    # The external wake competes with the heap head under
+                    # the same (time, priority, eid) order it would have
+                    # as a real priority-1 entry.
+                    if wake <= time and (
+                        wake < time
+                        or item[1] > 1
+                        or (item[1] == 1 and self._wake_eid < item[2])
+                    ):
+                        self._fire_wake()
+                        continue
+                    pop(queue)
+                    self._now = time
+                    event = item[3]
+                    event._process()  # type: ignore[union-attr]
+                    if not event._ok and not event._defused:  # type: ignore[union-attr]
+                        raise event._value  # type: ignore[union-attr,misc]
+                elif wake < math.inf:
+                    self._fire_wake()
+                else:
+                    return None
+
+        while True:
+            wake = self._wake_time
+            if queue:
+                item = queue[0]
+                time = item[0]
+                fire_wake = wake <= time and (
+                    wake < time
+                    or item[1] > 1
+                    or (item[1] == 1 and self._wake_eid < item[2])
+                )
+            elif wake < math.inf:
+                fire_wake = True
+                time = wake
+            else:
+                break
+            if stop_time is not None and min(time, wake) > stop_time:
+                self._now = stop_time
+                return None
+            if fire_wake:
+                self._fire_wake()
+            else:
+                pop(queue)
+                self._now = time
                 event = item[3]
                 event._process()  # type: ignore[union-attr]
                 if not event._ok and not event._defused:  # type: ignore[union-attr]
                     raise event._value  # type: ignore[union-attr,misc]
-            return None
-
-        while queue:
-            time = queue[0][0]
-            if stop_time is not None and time > stop_time:
-                self._now = stop_time
-                return None
-            item = pop(queue)
-            self._now = time
-            event = item[3]
-            event._process()  # type: ignore[union-attr]
-            if not event._ok and not event._defused:  # type: ignore[union-attr]
-                raise event._value  # type: ignore[union-attr,misc]
             if stop_event is not None and stop_event._ok is not None:
                 if stop_event._ok:
                     return stop_event._value
@@ -462,13 +607,29 @@ class Environment:
         return None
 
     def peek(self) -> float:
-        """Time of the next scheduled event, or ``inf`` if none."""
-        return self._queue[0][0] if self._queue else float("inf")
+        """Time of the next scheduled event (including the external
+        wake), or ``inf`` if none."""
+        head = self._queue[0][0] if self._queue else math.inf
+        wake = self._wake_time
+        return wake if wake < head else head
 
     def step(self) -> None:
         """Process exactly one queued event (mainly for tests)."""
-        if not self._queue:
+        queue = self._queue
+        wake = self._wake_time
+        if queue:
+            item = queue[0]
+            if wake <= item[0] and (
+                wake < item[0]
+                or item[1] > 1
+                or (item[1] == 1 and self._wake_eid < item[2])
+            ):
+                self._fire_wake()
+                return
+            heapq.heappop(queue)
+            self._now = item[0]
+            item[3]._process()  # type: ignore[union-attr]
+        elif wake < math.inf:
+            self._fire_wake()
+        else:
             raise SimulationError("no scheduled events")
-        time, _priority, _eid, event = heapq.heappop(self._queue)
-        self._now = time
-        event._process()  # type: ignore[union-attr]

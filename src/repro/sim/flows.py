@@ -15,9 +15,29 @@ are handled by the same solver:
   uniformly until some resource saturates (or a flow hits its cap), freeze
   the affected flows, repeat.
 
-Whenever a flow starts or finishes, elapsed progress is settled and rates
-are recomputed; a single timer tracks the earliest upcoming completion.
-The model is deterministic and exact for piecewise-constant rate sets.
+Whenever a flow starts or finishes, elapsed progress is settled under one
+global clock and rates are recomputed by a single global fill. The fill is
+deliberately *not* partitioned: its accumulating level and shared
+capped-flow ladder interleave float operations across independent
+contention regions, so the exact bit pattern of every rate — and through
+it every completion time the experiment tables record — is pinned to this
+one operation sequence. A partitioned per-component solve is
+mathematically equal but rounds differently at the ULP, which the tables'
+byte-stability contract forbids (see DESIGN.md).
+
+Contention *structure* is still tracked incrementally: resources whose
+flows could collectively exceed capacity are *contended*, and contended
+resources partition into connected components (a flow links every
+contended resource it crosses). Components are maintained lazily for the
+dirty region only and feed diagnostics, tests and scheduling heuristics —
+never the fill itself.
+
+The earliest upcoming completion is tracked by the environment's external
+wake slot: re-aimed in place after every rebalance, it consumes a fresh
+event id (ordering against same-instant kernel events exactly like a
+freshly armed timeout) while leaving *zero* records in the kernel queue —
+heavy churn no longer piles up stale timers. The model is deterministic
+and exact for piecewise-constant rate sets.
 """
 
 from __future__ import annotations
@@ -27,7 +47,7 @@ import math
 from typing import Iterable, Optional, TYPE_CHECKING
 
 from repro.errors import SimulationError
-from repro.sim.engine import Environment, Event
+from repro.sim.engine import Environment
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.sim.metrics import MetricRecorder
@@ -41,7 +61,16 @@ _EPSILON = 1e-9
 class Resource:
     """A capacitated resource flows drain through (a link, disk, or CPU)."""
 
-    __slots__ = ("name", "capacity", "flows", "kind", "cached_usage", "_network")
+    __slots__ = (
+        "name",
+        "capacity",
+        "flows",
+        "kind",
+        "cached_usage",
+        "_network",
+        "_contended",
+        "_component",
+    )
 
     def __init__(self, name: str, capacity: float, kind: str = "generic"):
         if capacity <= 0:
@@ -54,6 +83,11 @@ class Resource:
         #: Aggregate rate, refreshed by the network on every rebalance.
         self.cached_usage = 0.0
         self._network: Optional["FlowNetwork"] = None
+        #: Whether the flows crossing this resource could collectively
+        #: exceed its capacity (i.e. it can act as a bottleneck).
+        self._contended = False
+        #: The contention component this resource belongs to, when contended.
+        self._component: Optional["_Component"] = None
 
     @property
     def usage(self) -> float:
@@ -91,6 +125,7 @@ class Flow:
         "done",
         "label",
         "_network",
+        "_component",
     )
 
     _ids = itertools.count()
@@ -101,7 +136,7 @@ class Flow:
         resources: tuple[Resource, ...],
         size: Optional[float],
         cap: Optional[float],
-        done: Optional[Event],
+        done: Optional["object"],
         label: str,
         weight: float = 1.0,
     ):
@@ -116,6 +151,9 @@ class Flow:
         self.done = done
         self.label = label
         self._network = network
+        #: The contention component this flow belongs to (None until the
+        #: first flush, or when every crossed resource is uncontended).
+        self._component: Optional["_Component"] = None
 
     @property
     def rate(self) -> float:
@@ -133,7 +171,33 @@ class Flow:
         self._network._remove(self, fire=False)
 
     def __repr__(self) -> str:
-        return f"Flow({self.label!r}, rate={self.rate:g}, remaining={self.remaining})"
+        # Formats from the raw ``_rate`` on purpose: reading the ``rate``
+        # property forces a rebalance, and a __repr__ (e.g. printed from a
+        # debugger) must never mutate solver state.
+        return f"Flow({self.label!r}, rate={self._rate:g}, remaining={self.remaining})"
+
+
+class _Component:
+    """A connected component of contended resources and their flows.
+
+    Components are structural bookkeeping only: they answer "which flows
+    transitively share a bottleneck?" for diagnostics and tests, and they
+    are rebuilt lazily for just the dirty region when membership or
+    contention changes. The rate solve itself is global (see the module
+    docstring). ``built_at`` stamps the instant this component was
+    assembled; unrelated churn elsewhere in the network never rebuilds it
+    (the isolation a regression test asserts directly).
+    """
+
+    __slots__ = ("flows", "resources", "built_at")
+
+    def __init__(self, now: float):
+        # Insertion-ordered (dict-as-set), sorted by flow id at build time
+        # so introspection order is independent of traversal order.
+        self.flows: dict[Flow, None] = {}
+        #: The contended resources linking these flows.
+        self.resources: dict[Resource, None] = {}
+        self.built_at = now
 
 
 class FlowNetwork:
@@ -149,11 +213,26 @@ class FlowNetwork:
         # clusters permanent background flows dominate the population, so
         # scanning just this subset is a large constant-factor win.
         self._finite: dict[Flow, None] = {}
+        #: The global settle clock: the last instant every finite flow's
+        #: ``remaining`` was brought up to date.
         self._last_settle = env.now
-        self._timer_version = 0
         self._recorder: Optional["MetricRecorder"] = None
         self._usage_dirty: set[Resource] = set()
         self._dirty = False
+        #: Components whose flow membership (or contention) changed since
+        #: the last structural rebuild; they are dissolved and re-flooded.
+        self._dirty_components: dict[_Component, None] = {}
+        #: Resources whose flow set changed; contention is re-derived for
+        #: exactly these at rebuild time.
+        self._retag: dict[Resource, None] = {}
+        #: Flows added since the last rebuild (not yet in any component).
+        self._new_flows: dict[Flow, None] = {}
+        # Pre-bound callbacks: scheduled on every rebalance and wake, so
+        # avoid allocating a fresh bound method each time. The completion
+        # timer itself is the environment's external wake slot (re-aimed
+        # in place on every rebalance — zero queue entries).
+        self._flush_cb = self.flush
+        self._wake_cb = self._on_wake
 
     # -- construction ------------------------------------------------------
 
@@ -191,9 +270,13 @@ class FlowNetwork:
         Returns the :class:`Flow`; ``flow.done`` is an event that fires
         with the flow when it completes (absent for permanent flows).
         """
-        resolved = tuple(
-            self.resources[r] if isinstance(r, str) else r for r in resources
-        )
+        resolved = tuple(resources)
+        for item in resolved:
+            if type(item) is str:
+                resolved = tuple(
+                    self.resources[r] if type(r) is str else r for r in resolved
+                )
+                break
         if not resolved:
             raise SimulationError("a flow needs at least one resource")
         if cap is not None and cap <= 0:
@@ -213,8 +296,15 @@ class FlowNetwork:
         self._flows[flow] = None
         if size is not None:
             self._finite[flow] = None
+        retag = self._retag
+        dirty_components = self._dirty_components
         for resource in resolved:
             resource.flows[flow] = None
+            retag[resource] = None
+            component = resource._component
+            if component is not None:
+                dirty_components[component] = None
+        self._new_flows[flow] = None
         self._mark_dirty()
         return flow
 
@@ -222,12 +312,25 @@ class FlowNetwork:
         """Detach ``flow`` from all bookkeeping (no settle, no event)."""
         self._flows.pop(flow, None)
         self._finite.pop(flow, None)
+        self._new_flows.pop(flow, None)
+        retag = self._retag
+        dirty_components = self._dirty_components
         for resource in flow.resources:
             resource.flows.pop(flow, None)
+            retag[resource] = None
+            if resource._component is not None:
+                dirty_components[resource._component] = None
+        component = flow._component
+        if component is not None:
+            component.flows.pop(flow, None)
+            dirty_components[component] = None
+            flow._component = None
 
     def _remove(self, flow: Flow, fire: bool) -> None:
         if flow not in self._flows:
             return
+        # Settle first so peers (and the flow itself, if it tied with a
+        # completion) account progress at the pre-removal rates.
         self._settle()
         self._drop(flow)
         if fire and flow.done is not None and not flow.done.triggered:
@@ -237,22 +340,44 @@ class FlowNetwork:
     # -- mechanics ---------------------------------------------------------
 
     def _settle(self) -> None:
-        """Account progress made since the last rate change."""
+        """Account progress made since the last rate change.
+
+        The settle clock is global on purpose: advancing ``remaining``
+        for every live finite flow at every mutation instant keeps the
+        floating-point accumulation sequence identical across runs and
+        refactors, which pins completion times — and therefore whole
+        experiment tables — bit for bit. Completions are normally
+        handled by the wake timer; settling can still observe them when
+        several flows tie exactly, and fires them in flow start order.
+        """
         elapsed = self.env.now - self._last_settle
         if elapsed > 0:
-            finished = []
+            finished = None
             for flow in self._finite:
-                if flow._rate > 0:
-                    flow.remaining = max(0.0, flow.remaining - flow._rate * elapsed)
+                rate = flow._rate
+                if rate > 0:
+                    flow.remaining = max(0.0, flow.remaining - rate * elapsed)
                     if flow.remaining <= _EPSILON:
+                        if finished is None:
+                            finished = []
                         finished.append(flow)
-            # Completions are normally handled by the timer; settling can
-            # still observe them when several flows tie exactly.
-            for flow in finished:
-                self._drop(flow)
-                if flow.done is not None and not flow.done.triggered:
-                    flow.done.succeed(flow)
+            if finished:
+                for flow in finished:
+                    self._drop(flow)
+                    if flow.done is not None and not flow.done.triggered:
+                        flow.done.succeed(flow)
         self._last_settle = self.env.now
+
+    def _classify(self, resource: Resource) -> bool:
+        """Whether ``resource`` can bottleneck: its flows' caps sum past
+        its capacity (an uncapped flow makes it contended outright)."""
+        total = 0.0
+        for flow in resource.flows:
+            cap = flow.cap
+            if cap is None:
+                return True
+            total += cap
+        return total > resource.capacity + _EPSILON
 
     def _mark_dirty(self) -> None:
         """Defer the rebalance to the end of the current timestep.
@@ -267,21 +392,102 @@ class FlowNetwork:
             return
         self._dirty = True
         # Priority 2: after every ordinary event at this timestamp.
-        self.env._schedule_deferred(self.flush, priority=2)
+        self.env._schedule_deferred(self._flush_cb, priority=2)
 
     def flush(self, _arg: object = None) -> None:
-        """Apply any deferred rebalance immediately."""
+        """Apply any deferred rebalance immediately.
+
+        Progress was already settled at the instant the network went
+        dirty (every mutation settles before marking, and the deferred
+        flush runs within the same timestep), so this only refreshes the
+        contention structure and re-solves.
+        """
         if not self._dirty:
             return
         self._dirty = False
         self._rebalance()
 
-    def _rebalance(self) -> None:
-        """Recompute all flow rates via progressive filling.
+    def _rebuild_components(self) -> None:
+        """Bring the contention structure up to date for the dirty region.
 
-        Bookkeeping is incremental so a rebalance costs roughly
-        O(sum of flow degrees + iterations * active resources), which keeps
-        large clusters (hundreds of resources, hundreds of flows) fast.
+        Pure bookkeeping — no float arithmetic, no event scheduling —
+        and *fully lazy*: mutations only accumulate marks (`_retag`,
+        `_dirty_components`, `_new_flows`), and the dissolve/flood
+        rebuild runs when introspection asks (:meth:`components`,
+        :meth:`component_count`), never on the solve hot path.
+        Classification is re-derived only for resources whose
+        membership changed; a contention flip drags the affected
+        resource's flows (and their components) into the dirty region,
+        which is then dissolved and re-partitioned by flooding across
+        contended resources. Dirty-marking keeps the seed set closed
+        under this traversal: a contended resource crossed by a seed
+        flow always belongs to a dirty (dissolved) component, so no
+        clean component is reached.
+        """
+        dirty_components = self._dirty_components
+        retagged = self._retag
+        new_flows = self._new_flows
+        if not (retagged or dirty_components or new_flows):
+            return
+        if retagged:
+            self._retag = {}
+            for resource in retagged:
+                contended = self._classify(resource)
+                if resource._contended != contended:
+                    resource._contended = contended
+                    for flow in resource.flows:
+                        component = flow._component
+                        if component is not None:
+                            dirty_components[component] = None
+        if dirty_components:
+            seeds: dict[Flow, None] = {}
+            for component in dirty_components:
+                seeds.update(component.flows)
+                for resource in component.resources:
+                    if resource._component is component:
+                        resource._component = None
+            seeds.update(new_flows)
+            for flow in seeds:
+                flow._component = None
+        else:
+            # Pure additions: new flows have no component yet.
+            seeds = new_flows
+        now = self.env.now
+        stack: list[Flow] = []
+        for seed in seeds:
+            if seed._component is not None or seed not in self._flows:
+                continue
+            component = _Component(now)
+            seed._component = component
+            component.flows[seed] = None
+            stack.append(seed)
+            while stack:
+                flow = stack.pop()
+                for resource in flow.resources:
+                    if resource._contended and resource._component is not component:
+                        resource._component = component
+                        component.resources[resource] = None
+                        for other in resource.flows:
+                            if other._component is not component:
+                                other._component = component
+                                component.flows[other] = None
+                                stack.append(other)
+            if len(component.flows) > 1:
+                ordered = sorted(component.flows, key=lambda f: f.id)
+                component.flows = dict.fromkeys(ordered)
+        dirty_components.clear()
+        self._new_flows = {}
+
+    def _rebalance(self) -> None:
+        """Recompute all flow rates via one global progressive fill.
+
+        The fill's accumulating level and shared capped-flow ladder make
+        its float-operation sequence inseparable across contention
+        components: this exact loop *is* the byte-stability contract for
+        every committed experiment table, so it must not be partitioned,
+        reordered or algebraically "simplified" (see the module
+        docstring). Bookkeeping is incremental, so a rebalance costs
+        roughly O(sum of flow degrees + iterations * active resources).
         """
         # Per-resource: aggregate weight of unfrozen flows and headroom
         # left after already-frozen flows. A flow's rate at fill level
@@ -371,18 +577,33 @@ class FlowNetwork:
         # Refresh the cached per-resource usage: every touched resource's
         # usage is capacity minus what is left of it; resources that lost
         # their last flow drop back to zero.
-        for resource in self._usage_dirty:
+        stale = self._usage_dirty
+        for resource in stale:
             resource.cached_usage = 0.0
         for resource, remaining_room in room.items():
             resource.cached_usage = resource.capacity - remaining_room
         self._usage_dirty = set(room)
-        if self._recorder is not None:
-            self._recorder.snapshot(self.env.now)
-        self._schedule_next_completion()
+        recorder = self._recorder
+        if recorder is not None:
+            # Per-resource lazy integration makes the split exact: each
+            # resource's integral is settled against its own clock.
+            now = self.env.now
+            recorder.observe(now, room)
+            if stale:
+                recorder.observe(now, (r for r in stale if r not in room))
+        self._aim_wake()
 
-    def _schedule_next_completion(self) -> None:
-        self._timer_version += 1
-        version = self._timer_version
+    def _aim_wake(self) -> None:
+        """Aim the environment's wake slot at the earliest completion.
+
+        Each aim consumes a fresh event id, so the wake orders against
+        same-instant kernel events exactly like a freshly armed timeout —
+        but as an in-place slot update, not a queue entry, so heavy churn
+        leaves nothing behind in the kernel heap. The delay is clamped a
+        min-tick above ``now``: a sub-resolution delay would not advance
+        the clock, the settle step would see zero elapsed time, and the
+        wake would re-fire at the same instant forever.
+        """
         next_in = math.inf
         for flow in self._finite:
             if flow._rate > _EPSILON:
@@ -390,27 +611,24 @@ class FlowNetwork:
                 if candidate < next_in:
                     next_in = candidate
         if math.isinf(next_in):
+            self.env.clear_wake()
             return
-        # Clamp the delay to a few ULPs of the current clock: a delay
-        # below the clock's float resolution would not advance time, the
-        # settle step would see zero elapsed time, and the timer would
-        # re-fire at the same instant forever.
         min_tick = max(1.0, abs(self.env.now)) * 1e-12
         next_in = max(next_in, min_tick)
+        self.env.set_wake(self.env.now + max(next_in, 0.0), self._wake_cb)
 
-        def fire(_event: Event) -> None:
-            if version != self._timer_version:
-                return  # A newer rebalance superseded this timer.
-            self._settle()
-            done = [f for f in self._finite if f.remaining <= _EPSILON]
-            for flow in done:
-                self._drop(flow)
-                if flow.done is not None and not flow.done.triggered:
-                    flow.done.succeed(flow)
-            self._rebalance()
-
-        timer = self.env.timeout(max(next_in, 0.0))
-        timer._add_callback(fire)
+    def _on_wake(self) -> None:
+        """The completion timer: settle everyone (firing the flows that
+        drained), then rebalance unconditionally — even a min-tick wake
+        that completed nothing recomputes from the just-settled
+        remainders."""
+        self._settle()
+        done = [f for f in self._finite if f.remaining <= _EPSILON]
+        for flow in done:
+            self._drop(flow)
+            if flow.done is not None and not flow.done.triggered:
+                flow.done.succeed(flow)
+        self._rebalance()
 
     # -- introspection -----------------------------------------------------
 
@@ -422,3 +640,24 @@ class FlowNetwork:
     def usage_of(self, name: str) -> float:
         """Current aggregate rate through resource ``name``."""
         return self.resources[name].usage
+
+    def components(self) -> tuple[_Component, ...]:
+        """Snapshot of the contention components (forces pending work).
+
+        Flows crossing only uncontended resources form singleton
+        components; this is mainly an introspection/diagnostics hook —
+        the structural rebuild it forces is lazy and never runs on the
+        solve hot path.
+        """
+        self.flush()
+        self._rebuild_components()
+        seen: dict[int, _Component] = {}
+        for flow in self._flows:
+            component = flow._component
+            if component is not None:
+                seen[id(component)] = component
+        return tuple(seen.values())
+
+    def component_count(self) -> int:
+        """Number of contention components (forces pending work)."""
+        return len(self.components())

@@ -11,7 +11,7 @@ an optional step series for plotting.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional, TYPE_CHECKING
+from typing import Iterable, Optional, TYPE_CHECKING
 
 from repro.obs.registry import MetricsRegistry
 from repro.sim.flows import FlowNetwork, Resource
@@ -35,6 +35,11 @@ class ResourceUsage:
     peak: float = 0.0
     #: Step series of (time, rate) points, recorded when enabled.
     series: list[tuple[float, float]] = field(default_factory=list)
+    #: Rate in effect since :attr:`last_time`; the pending (not yet
+    #: integrated) segment of the integral.
+    last_rate: float = 0.0
+    #: Simulated time up to which :attr:`integral` is settled.
+    last_time: float = 0.0
 
     def average(self, duration: float) -> float:
         """Mean usage rate over ``duration`` seconds."""
@@ -49,14 +54,18 @@ class MetricRecorder:
     """Integrates resource usage over simulated time.
 
     Attach with :meth:`FlowNetwork.set_recorder`; the network calls
-    :meth:`snapshot` on every rate change.
+    :meth:`observe` with just the resources it refreshed on every rate
+    change, so recording cost tracks the size of the dirty region rather
+    than the whole cluster. Each :class:`ResourceUsage` carries its own
+    settle clock (``last_rate``/``last_time``): rates are piecewise
+    constant between a resource's own refreshes, so integrating each
+    resource lazily over its own segments is still exact.
     """
 
     def __init__(self, network: FlowNetwork, keep_series: bool = False):
         self._network = network
         self._keep_series = keep_series
         self._last_time = network.env.now
-        self._last_rates: dict[str, float] = {}
         self.usages: dict[str, ResourceUsage] = {}
         self.started_at = network.env.now
         #: Typed event aggregations (counters/gauges/histograms) fed by
@@ -72,32 +81,45 @@ class MetricRecorder:
         usage = self.usages.get(resource.name)
         if usage is None:
             usage = ResourceUsage(resource.name, resource.kind, resource.capacity)
+            usage.last_time = self._last_time
             self.usages[resource.name] = usage
         return usage
 
+    def _observe_one(self, resource: Resource, now: float) -> None:
+        usage = self._usage_for(resource)
+        elapsed = now - usage.last_time
+        if elapsed > 0 and usage.last_rate:
+            usage.integral += usage.last_rate * elapsed
+        usage.last_time = now
+        rate = resource.cached_usage
+        if rate > usage.peak:
+            usage.peak = rate
+        usage.last_rate = rate
+        if self._keep_series:
+            series = usage.series
+            if not series or series[-1][1] != rate:
+                series.append((now, rate))
+
+    def observe(self, now: float, resources: Iterable[Resource]) -> None:
+        """Record a rate change limited to the refreshed ``resources``.
+
+        Called by the network at the end of each rebalance with exactly
+        the resources it touched; everything else keeps accruing at its
+        previous (still current) rate.
+        """
+        for resource in resources:
+            self._observe_one(resource, now)
+        if now > self._last_time:
+            self._last_time = now
+
     def snapshot(self, now: float) -> None:
-        """Settle the integral up to ``now`` and re-read current rates."""
-        elapsed = now - self._last_time
-        if elapsed > 0:
-            for name, rate in self._last_rates.items():
-                if rate:
-                    self.usages[name].integral += rate * elapsed
-        self._last_time = now
-        # One flush up front, then read the refreshed caches directly:
-        # snapshot() runs once per rebalance, so the per-resource
-        # flush-check of the ``usage`` property is pure overhead here.
+        """Settle every resource's integral up to ``now``."""
+        # One flush up front, then read the refreshed caches directly.
         self._network.flush()
-        new_rates: dict[str, float] = {}
         for resource in self._network.resources.values():
-            rate = resource.cached_usage
-            usage = self._usage_for(resource)
-            usage.peak = max(usage.peak, rate)
-            new_rates[resource.name] = rate
-            if self._keep_series:
-                series = usage.series
-                if not series or series[-1][1] != rate:
-                    series.append((now, rate))
-        self._last_rates = new_rates
+            self._observe_one(resource, now)
+        if now > self._last_time:
+            self._last_time = now
 
     def finish(self, now: Optional[float] = None) -> None:
         """Settle integrals up to ``now`` (defaults to the current clock).

@@ -176,3 +176,122 @@ def test_low_weight_background_yields_to_foreground():
     # Fair share: 2 / (1 + 256*0.12) = 0.063 -> ~16x slowdown, not 129x.
     assert task.rate == pytest.approx(2.0 / (1 + 256 * 0.12), rel=1e-6)
     env.run(until=task.done)
+
+
+# -- incremental vs from-scratch differential -------------------------------
+
+op_entries = st.tuples(
+    st.integers(0, 3),  # 0-2: start a flow, 3: cancel a live one
+    st.integers(0, 31),  # resource bitmask / removal index
+    st.one_of(st.none(), sizes),  # size (None = permanent)
+    caps,
+    weights,
+)
+
+
+def _rebuild_from_scratch(net, names, resource_caps):
+    """A fresh network holding the same live flows in creation order."""
+    ref_env = Environment()
+    ref = FlowNetwork(ref_env)
+    for name, capacity in zip(names, resource_caps):
+        ref.add_resource(name, capacity)
+    ref_flows = [
+        ref.start_flow(
+            None,  # rates do not depend on the remaining size
+            [r.name for r in flow.resources],
+            cap=flow.cap,
+            weight=flow.weight,
+        )
+        for flow in net._flows
+    ]
+    ref.flush()
+    return ref, ref_flows
+
+
+def _assert_states_match(net, names, resource_caps):
+    ref, ref_flows = _rebuild_from_scratch(net, names, resource_caps)
+    for mine, theirs in zip(net._flows, ref_flows):
+        assert math.isclose(mine._rate, theirs._rate, rel_tol=1e-9, abs_tol=1e-9)
+    for name in names:
+        resource = net.resources[name]
+        assert math.isclose(
+            resource.cached_usage,
+            sum(f._rate for f in resource.flows),
+            rel_tol=1e-9,
+            abs_tol=1e-9,
+        )
+        assert math.isclose(
+            resource.cached_usage,
+            ref.resources[name].cached_usage,
+            rel_tol=1e-9,
+            abs_tol=1e-9,
+        )
+
+
+@given(
+    st.lists(capacities, min_size=1, max_size=5),
+    st.lists(op_entries, min_size=1, max_size=25),
+)
+@settings(max_examples=120, deadline=None)
+def test_incremental_solver_matches_from_scratch(resource_caps, script):
+    """Arbitrary add/cancel churn: the solver (global fill plus lazy
+    structural bookkeeping) must agree with a from-scratch solve of the
+    surviving flows after every single mutation."""
+    env = Environment()
+    net = FlowNetwork(env)
+    names = [f"r{i}" for i in range(len(resource_caps))]
+    for name, capacity in zip(names, resource_caps):
+        net.add_resource(name, capacity)
+    live = []
+    for kind, mask, size, cap, weight in script:
+        if kind == 3 and live:
+            live.pop(mask % len(live)).cancel()
+        else:
+            chosen = [names[i] for i in range(len(names)) if mask >> i & 1]
+            if not chosen:
+                chosen = [names[mask % len(names)]]
+            live.append(net.start_flow(size, chosen, cap=cap, weight=weight))
+        net.flush()
+        _assert_states_match(net, names, resource_caps)
+
+
+@given(
+    st.lists(capacities, min_size=1, max_size=4),
+    st.lists(op_entries, min_size=2, max_size=14),
+    st.floats(min_value=0.05, max_value=20.0),
+)
+@settings(max_examples=60, deadline=None)
+def test_incremental_solver_matches_after_completions(
+    resource_caps, script, step
+):
+    """Time actually advances here: finite flows drain and complete via
+    the external wake slot, and the surviving rates must still match a
+    from-scratch solve."""
+    env = Environment()
+    net = FlowNetwork(env)
+    names = [f"r{i}" for i in range(len(resource_caps))]
+    for name, capacity in zip(names, resource_caps):
+        net.add_resource(name, capacity)
+
+    def driver(env):
+        live = []
+        for kind, mask, size, cap, weight in script:
+            live = [f for f in live if f in net._flows]
+            if kind == 3 and live:
+                live.pop(mask % len(live)).cancel()
+            else:
+                chosen = [names[i] for i in range(len(names)) if mask >> i & 1]
+                if not chosen:
+                    chosen = [names[mask % len(names)]]
+                live.append(net.start_flow(size, chosen, cap=cap, weight=weight))
+            yield env.timeout(step)
+
+    process = env.process(driver(env))
+    env.run(until=process)
+    net.flush()
+    _assert_states_match(net, names, resource_caps)
+    # Drain to the end: every finite flow must eventually complete.
+    env.run()
+    net.flush()
+    assert not any(f.remaining is not None for f in net._flows)
+    _assert_states_match(net, names, resource_caps)

@@ -256,3 +256,148 @@ def test_peek_reports_next_event_time():
     assert env.peek() == 5.0
     env2 = Environment()
     assert env2.peek() == float("inf")
+
+
+def test_call_later_fires_plain_callback():
+    env = Environment()
+    fired = []
+    env.call_later(3.0, lambda: fired.append(env.now))
+    env.run()
+    assert fired == [3.0]
+
+
+def test_call_later_cancel_suppresses_callback():
+    env = Environment()
+    fired = []
+    call = env.call_later(2.0, lambda: fired.append(env.now))
+    assert not call.cancelled
+    call.cancel()
+    assert call.cancelled
+    env.run()
+    assert fired == []
+    assert env.now == 2.0  # the queue entry still drains the clock
+
+
+def test_call_later_rejects_negative_delay():
+    env = Environment()
+    with pytest.raises(SimulationError):
+        env.call_later(-0.5, lambda: None)
+
+
+def test_call_later_orders_with_timeouts():
+    env = Environment()
+    log = []
+
+    def proc(env):
+        yield env.timeout(1.0)
+        log.append("timeout")
+
+    env.process(proc(env))
+    env.call_later(1.0, lambda: log.append("call"))
+    env.run()
+    # The ScheduledCall invokes its callback directly when the queue
+    # entry drains, while the timeout's process resumption is deferred —
+    # so the callback observes the timestep before any process does.
+    assert log == ["call", "timeout"]
+
+
+def test_call_at_hits_the_exact_absolute_instant():
+    env = Environment()
+    env.timeout(0.1)
+    env.run()  # park the clock at a value where now+delta would round
+    target = 0.1 + 1 / 3
+    fired = []
+    env.call_at(target, lambda: fired.append(env.now))
+    env.run()
+    # The target is taken verbatim — no now+delay round trip.
+    assert fired == [target]
+
+
+def test_call_at_in_the_past_runs_without_rewinding_the_clock():
+    env = Environment()
+    env.timeout(5.0)
+    env.run()
+    fired = []
+    env.call_at(1.0, lambda: fired.append(env.now))
+    env.run()
+    assert fired == [5.0]
+    assert env.now == 5.0
+
+
+def test_set_wake_fires_at_its_target_time():
+    env = Environment()
+    fired = []
+    env.set_wake(4.0, lambda: fired.append(env.now))
+    env.run()
+    assert fired == [4.0]
+    assert env.now == 4.0
+
+
+def test_set_wake_reaim_replaces_the_previous_target():
+    env = Environment()
+    fired = []
+    env.set_wake(10.0, lambda: fired.append(("late", env.now)))
+    env.set_wake(2.0, lambda: fired.append(("early", env.now)))
+    env.run()
+    # One slot: the latest aim wins, nothing is left behind in the queue.
+    assert fired == [("early", 2.0)]
+    assert env._queue == []
+
+
+def test_clear_wake_disarms():
+    env = Environment()
+    fired = []
+    env.set_wake(1.0, lambda: fired.append(env.now))
+    env.clear_wake()
+    env.run()
+    assert fired == []
+    assert env.now == 0.0
+
+
+def test_wake_orders_with_same_instant_timeouts_by_arm_order():
+    env = Environment()
+    log = []
+
+    def proc(env):
+        yield env.timeout(5.0)
+        log.append("timeout")
+
+    # Armed after the timeout: the wake's fresh event id is larger, so
+    # at the shared instant the timeout's queue entry pops first —
+    # exactly the order a freshly scheduled Timeout would take.
+    env.process(proc(env))
+    env.run(until=1.0)
+    env.set_wake(5.0, lambda: log.append("wake"))
+    env.run()
+    assert log == ["timeout", "wake"]
+
+
+def test_wake_rearmed_from_its_own_callback_keeps_firing():
+    env = Environment()
+    ticks = []
+
+    def tick():
+        ticks.append(env.now)
+        if len(ticks) < 3:
+            env.set_wake(env.now + 1.0, tick)
+
+    env.set_wake(1.0, tick)
+    env.run()
+    assert ticks == [1.0, 2.0, 3.0]
+
+
+def test_run_until_time_respects_a_pending_wake():
+    env = Environment()
+    fired = []
+    env.set_wake(8.0, lambda: fired.append(env.now))
+    env.run(until=3.0)
+    assert fired == [] and env.now == 3.0
+    env.run(until=9.0)
+    assert fired == [8.0] and env.now == 9.0
+
+
+def test_peek_sees_the_wake_when_it_is_earliest():
+    env = Environment()
+    env.timeout(5.0)
+    env.set_wake(2.0, lambda: None)
+    assert env.peek() == 2.0

@@ -1,5 +1,7 @@
 """Unit tests for the max-min fair-share flow model."""
 
+import math
+
 import pytest
 
 from repro.errors import SimulationError
@@ -210,3 +212,125 @@ def test_long_horizon_simulation_terminates():
     process = env.process(churn(env))
     env.run(until=process)
     assert process.value > 200_000.0  # ~100 big flows x 3000 s
+
+
+# -- incremental solver: components, laziness, and the completion heap -----
+
+
+def test_components_merge_when_a_flow_bridges_them():
+    env, net = make_net(a=10.0, b=10.0)
+    left = net.start_flow(None, ["a"])
+    right = net.start_flow(None, ["b"])
+    net.components()
+    assert left._component is not right._component
+    assert net.component_count() == 2
+    bridge = net.start_flow(None, ["a", "b"])
+    net.components()
+    assert left._component is right._component
+    assert bridge._component is left._component
+    assert net.component_count() == 1
+    # Fair share across the merged component: the bridge competes on
+    # both resources, so each side splits evenly with it.
+    assert left.rate == pytest.approx(5.0)
+    assert right.rate == pytest.approx(5.0)
+    assert bridge.rate == pytest.approx(5.0)
+
+
+def test_components_split_when_the_bridge_is_removed():
+    env, net = make_net(a=10.0, b=10.0)
+    left = net.start_flow(None, ["a"])
+    right = net.start_flow(None, ["b"])
+    bridge = net.start_flow(None, ["a", "b"])
+    net.components()
+    merged = left._component
+    assert right._component is merged and bridge._component is merged
+    bridge.cancel()
+    net.components()
+    assert left._component is not right._component
+    assert left.rate == pytest.approx(10.0)
+    assert right.rate == pytest.approx(10.0)
+
+
+def test_contention_flip_drags_components_together():
+    env, net = make_net(a=10.0, b=10.0)
+    # Capped below capacity on "a": it starts out uncontended.
+    capped = net.start_flow(None, ["a"], cap=4.0)
+    spanning = net.start_flow(None, ["a", "b"], cap=5.0)
+    net.components()
+    a = net.resources["a"]
+    assert not a._contended  # 4 + 5 < 10
+    # A third flow pushes the cap sum past capacity: "a" flips to
+    # contended and its flows coalesce into one component.
+    extra = net.start_flow(None, ["a"], cap=3.0)
+    net.components()
+    assert a._contended
+    assert capped._component is spanning._component
+    assert extra._component is capped._component
+    assert capped.rate + spanning.rate + extra.rate == pytest.approx(10.0)
+
+
+def test_churn_in_one_component_leaves_others_untouched():
+    env, net = make_net(a=10.0, b=10.0)
+    left = net.start_flow(None, ["a"])
+    right = net.start_flow(None, ["b"])
+    net.components()
+    right_component = right._component
+    built_before = right_component.built_at
+    net.start_flow(None, ["a"])
+    net.components()
+    # Churn on "a" dirties only the left component: the right one keeps
+    # its identity and is never rebuilt.
+    assert right._component is right_component
+    assert right_component.built_at == built_before
+    assert left.rate == pytest.approx(5.0)
+    assert right.rate == pytest.approx(10.0)
+
+
+def test_kernel_queue_stays_bounded_under_rebalance_churn():
+    """The old solver armed a fresh fire-and-forget timeout on every
+    rebalance and let stale ones pile up in the kernel queue; the
+    completion timer is now the environment's external wake slot,
+    re-aimed in place, so churn leaves nothing behind in the queue."""
+    env, net = make_net(link=100.0)
+    steady = net.start_flow(1e9, ["link"])
+    sizes = []
+
+    def churn(env):
+        for _ in range(200):
+            extra = net.start_flow(1e6, ["link"])
+            yield env.timeout(0.01)
+            extra.cancel()
+            yield env.timeout(0.01)
+            sizes.append(len(env._queue))
+
+    process = env.process(churn(env))
+    env.run(until=process)
+    assert steady.rate == pytest.approx(100.0)
+    # One wake timer plus a handful of in-flight deferred steps; the old
+    # solver would have had hundreds of stale timeouts piled up here.
+    assert max(sizes) < 10
+    # The wake slot holds at most one pending completion target.
+    assert env._wake_time == math.inf or env._wake_time >= env.now
+
+
+def test_flow_repr_does_not_force_a_rebalance():
+    env, net = make_net(link=100.0)
+    flow = net.start_flow(500.0, ["link"], label="stage-in")
+    assert net._dirty
+    text = repr(flow)
+    assert "stage-in" in text
+    # Formatting must not flush: the deferred rebalance is still pending.
+    assert net._dirty
+    assert flow._rate == 0.0
+
+
+def test_usage_read_after_completion_sees_resolved_rates():
+    env, net = make_net(link=100.0)
+    net.start_flow(None, ["link"], weight=0.1, label="bg")
+    transfer = net.start_flow(50.0, ["link"])
+    env.run(until=transfer.done)
+    # The completion left only permanent flows behind; the wake's
+    # rebalance hands the freed bandwidth to the background flow, and
+    # any read observes the re-solved rates.
+    assert net.resources["link"].usage == pytest.approx(100.0)
+    assert net.usage_of("link") == pytest.approx(100.0)
