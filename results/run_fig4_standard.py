@@ -5,8 +5,15 @@ is Fig4Config() and takes ~1 h of single-core wall time; this standard
 scale halves container counts and data proportionally, preserving the
 compute-to-network balance and therefore the crossover shape.
 """
-import time
+import argparse, os, time
 from repro.experiments.fig4 import Fig4Config, run_fig4
+from repro.sim import DEFAULT_SOLVER, SOLVER_NAMES
+
+parser = argparse.ArgumentParser()
+parser.add_argument("--flow-solver", choices=list(SOLVER_NAMES),
+                    default=DEFAULT_SOLVER)
+parser.add_argument("--outdir", default=os.path.dirname(os.path.abspath(__file__)))
+args = parser.parse_args()
 
 config = Fig4Config(
     node_count=24,
@@ -16,12 +23,13 @@ config = Fig4Config(
     mb_per_file=512.0,
     backbone_mb_s=30.0,
     runs=1,
+    flow_solver=args.flow_solver,
 )
 started = time.time()
 table = run_fig4(config)
 print(table.format())
-with open("/root/repo/results/fig4.md", "w") as fh:
+with open(os.path.join(args.outdir, "fig4.md"), "w") as fh:
     fh.write(table.to_markdown() + "\n")
-with open("/root/repo/results/fig4.txt", "w") as fh:
+with open(os.path.join(args.outdir, "fig4.txt"), "w") as fh:
     fh.write(table.format() + f"\n(wall time {time.time()-started:.0f}s)\n")
 print(f"done in {time.time()-started:.0f}s")

@@ -1,14 +1,23 @@
 #!/usr/bin/env python3
 """Interleaved A/B harness for the flow-solver hot benchmarks.
 
-Checks the base revision out into a temporary git worktree, then runs
-the benchmarks in alternating A/B/A/B passes so slow machine drift
-(thermal throttling, noisy neighbours) cancels out instead of biasing
-one side. Reports the median post/pre throughput ratio per benchmark.
+Two comparison axes:
+
+* **Revision axis** (default): checks the base revision out into a
+  temporary git worktree, then runs the benchmarks in alternating
+  A/B/A/B passes so slow machine drift (thermal throttling, noisy
+  neighbours) cancels out instead of biasing one side.
+* **Solver axis** (``--solver A B``): both sides run from the *same*
+  source tree, but with different flow-solver versions injected via
+  ``repro.perf.bench.BENCH_SOLVER`` — no worktree checkout needed.
+  This is how the global-v1 vs partitioned-v2 speedup is measured.
+
+Reports the median post/pre throughput ratio per benchmark.
 
 Usage:
     python scripts/ab_flows.py                # working tree vs HEAD
     python scripts/ab_flows.py --base HEAD~1  # e.g. after committing
+    python scripts/ab_flows.py --solver global-v1 partitioned-v2
     python scripts/ab_flows.py --rounds 7 --quick
 """
 
@@ -27,10 +36,13 @@ BENCHES = ["flow_rebalance", "end_to_end_fig9", "end_to_end_snv"]
 _SNIPPET = """\
 import json, sys
 sys.path.insert(0, {src!r})
-from repro.perf.bench import BENCHMARKS
+from repro.perf import bench
+solver = {solver!r}
+if solver is not None:
+    bench.BENCH_SOLVER = solver
 out = {{}}
 for name in {benches!r}:
-    fn = BENCHMARKS.get(name)
+    fn = bench.BENCHMARKS.get(name)
     if fn is None:
         continue  # benchmark absent at this revision
     ops, wall = fn({quick!r})
@@ -39,8 +51,8 @@ print(json.dumps(out))
 """
 
 
-def measure(src: str, quick: bool) -> dict[str, float]:
-    code = _SNIPPET.format(src=src, benches=BENCHES, quick=quick)
+def measure(src: str, quick: bool, solver: str | None = None) -> dict[str, float]:
+    code = _SNIPPET.format(src=src, benches=BENCHES, quick=quick, solver=solver)
     proc = subprocess.run(
         [sys.executable, "-c", code],
         capture_output=True,
@@ -53,32 +65,52 @@ def measure(src: str, quick: bool) -> dict[str, float]:
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--base", default="HEAD", help="git rev to compare against")
+    parser.add_argument(
+        "--solver",
+        nargs=2,
+        metavar=("PRE", "POST"),
+        default=None,
+        help=(
+            "compare two flow-solver versions from the current tree "
+            "(e.g. --solver global-v1 partitioned-v2) instead of two "
+            "git revisions; --base is ignored"
+        ),
+    )
     parser.add_argument("--rounds", type=int, default=5, help="A/B pass pairs")
     parser.add_argument("--quick", action="store_true", help="quick bench sizes")
     args = parser.parse_args()
 
     repo = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
     head_src = os.path.join(repo, "src")
-    base_dir = tempfile.mkdtemp(prefix="ab-flows-")
-    subprocess.run(
-        ["git", "worktree", "add", "--detach", base_dir, args.base],
-        cwd=repo,
-        check=True,
-        capture_output=True,
-    )
-    try:
+    if args.solver is not None:
+        pre_solver, post_solver = args.solver
+        base_dir = None
+        base_src = head_src
+        pre_label, post_label = pre_solver, post_solver
+    else:
+        pre_solver = post_solver = None
+        base_dir = tempfile.mkdtemp(prefix="ab-flows-")
+        subprocess.run(
+            ["git", "worktree", "add", "--detach", base_dir, args.base],
+            cwd=repo,
+            check=True,
+            capture_output=True,
+        )
         base_src = os.path.join(base_dir, "src")
+        pre_label, post_label = args.base, "worktree"
+    try:
         pre: dict[str, list[float]] = {name: [] for name in BENCHES}
         post: dict[str, list[float]] = {name: [] for name in BENCHES}
         for round_index in range(args.rounds):
-            a = measure(base_src, args.quick)
-            b = measure(head_src, args.quick)
+            a = measure(base_src, args.quick, pre_solver)
+            b = measure(head_src, args.quick, post_solver)
             for name in BENCHES:
                 if name in a:
                     pre[name].append(a[name])
                 if name in b:
                     post[name].append(b[name])
             print(f"round {round_index + 1}/{args.rounds} done", file=sys.stderr)
+        print(f"pre = {pre_label}, post = {post_label}", file=sys.stderr)
         print(f"{'benchmark':<20} {'pre ops/s':>12} {'post ops/s':>12} {'ratio':>7}")
         for name in BENCHES:
             if not pre[name] or not post[name]:
@@ -93,12 +125,13 @@ def main() -> int:
                 f"{statistics.median(ratios):>6.2f}x"
             )
     finally:
-        subprocess.run(
-            ["git", "worktree", "remove", "--force", base_dir],
-            cwd=repo,
-            check=False,
-            capture_output=True,
-        )
+        if base_dir is not None:
+            subprocess.run(
+                ["git", "worktree", "remove", "--force", base_dir],
+                cwd=repo,
+                check=False,
+                capture_output=True,
+            )
     return 0
 
 

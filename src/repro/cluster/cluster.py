@@ -27,14 +27,20 @@ class Cluster:
     (a shared network volume, used by the Galaxy CloudMan baseline).
     """
 
-    def __init__(self, env: Environment, spec: ClusterSpec, record_series: bool = False):
+    def __init__(
+        self,
+        env: Environment,
+        spec: ClusterSpec,
+        record_series: bool = False,
+        flow_solver: str | None = None,
+    ):
         self.env = env
         self.spec = spec
         #: The observability spine: every layer running on this cluster
         #: (YARN RM/NM, HDFS, failure injector, Hi-WAY AMs) publishes
         #: its events here. Idle until a subscriber attaches.
         self.bus = EventBus(env)
-        self.network = FlowNetwork(env)
+        self.network = FlowNetwork(env, solver=flow_solver)
         self.backbone: Resource = self.network.add_resource(
             "backbone", spec.backbone_mb_s, kind="backbone"
         )

@@ -35,6 +35,10 @@ class ExperimentTable:
     columns: list[str]
     rows: list[list] = field(default_factory=list)
     notes: str = ""
+    #: Flow-solver version the numbers were produced under (the
+    #: two-version contract of ``repro.sim.flows``); stamped into both
+    #: renderings so every recorded table is attributable.
+    solver_version: str = ""
 
     def add_row(self, *values) -> None:
         if len(values) != len(self.columns):
@@ -63,6 +67,8 @@ class ExperimentTable:
             lines.append("  ".join(v.rjust(widths[i]) for i, v in enumerate(row)))
         if self.notes:
             lines.append(f"note: {self.notes}")
+        if self.solver_version:
+            lines.append(f"solver_version: {self.solver_version}")
         return "\n".join(lines)
 
     def to_markdown(self) -> str:
@@ -73,4 +79,6 @@ class ExperimentTable:
         ]
         for row in self.rows:
             lines.append("| " + " | ".join(_fmt(v) for v in row) + " |")
+        if self.solver_version:
+            lines.append(f"\n_solver_version: {self.solver_version}_")
         return "\n".join(lines)

@@ -19,7 +19,7 @@ between experiment runs. The paper's expected dynamics:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Optional
 
 from repro.cluster import Cluster, ClusterSpec, M3_LARGE, apply_stress, paper_fig9_stress
@@ -29,7 +29,7 @@ from repro.experiments.common import ExperimentTable, median, std
 from repro.hdfs import HdfsClient
 from repro.langs import DaxSource
 from repro.perf import run_grid
-from repro.sim import Environment
+from repro.sim import DEFAULT_SOLVER, Environment
 from repro.workloads import MONTAGE_TOOLS, montage_dax, montage_inputs
 from repro.yarn import ResourceManager
 
@@ -44,6 +44,9 @@ class Fig9Config:
     worker_count: int = 11
     consecutive_heft_runs: int = 20
     experiment_repeats: int = 80
+    #: Flow-solver version (carried in the config so process-pool
+    #: workers inherit the selection with the pickled config).
+    flow_solver: str = DEFAULT_SOLVER
 
     @classmethod
     def quick(cls) -> "Fig9Config":
@@ -55,7 +58,7 @@ def _fresh_installation(config: Fig9Config, seed: int, store) -> HiWay:
     spec = ClusterSpec(
         worker_spec=M3_LARGE, worker_count=config.worker_count, master_count=1
     )
-    cluster = Cluster(env, spec)
+    cluster = Cluster(env, spec, flow_solver=config.flow_solver)
     apply_stress(cluster, paper_fig9_stress(cluster.worker_ids))
     hdfs = HdfsClient(cluster, seed=seed)
     rm = ResourceManager(env, cluster, max_containers_per_node=1)
@@ -64,7 +67,11 @@ def _fresh_installation(config: Fig9Config, seed: int, store) -> HiWay:
         hdfs=hdfs,
         rm=rm,
         provenance_store=store,
-        config=HiWayConfig(container_vcores=1, container_memory_mb=1024.0),
+        config=HiWayConfig(
+            container_vcores=1,
+            container_memory_mb=1024.0,
+            flow_solver=config.flow_solver,
+        ),
     )
     hiway.install_everywhere(*MONTAGE_TOOLS)
     hiway.stage_inputs(montage_inputs(config.degree), seed=seed)
@@ -120,6 +127,7 @@ def run_fig9(
     config: Optional[Fig9Config] = None,
     quick: bool = False,
     jobs: Optional[int] = 1,
+    flow_solver: Optional[str] = None,
 ) -> ExperimentTable:
     """Regenerate the Figure 9 series.
 
@@ -131,6 +139,8 @@ def run_fig9(
     """
     if config is None:
         config = Fig9Config.quick() if quick else Fig9Config()
+    if flow_solver is not None:
+        config = replace(config, flow_solver=flow_solver)
     fcfs_runtimes = []
     heft_by_index: list[list[float]] = [
         [] for _ in range(config.consecutive_heft_runs)
@@ -158,6 +168,7 @@ def run_fig9(
             f"{config.worker_count} stressed m3.large workers, Montage "
             f"{config.degree} deg, {config.experiment_repeats} repeat(s)"
         ),
+        solver_version=config.flow_solver,
     )
     fcfs_median = median(fcfs_runtimes)
     for index, runtimes in enumerate(heft_by_index):

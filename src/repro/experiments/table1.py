@@ -3,11 +3,12 @@
 from __future__ import annotations
 
 from repro.experiments.common import ExperimentTable
+from repro.sim import DEFAULT_SOLVER
 
 __all__ = ["run_table1"]
 
 
-def run_table1(jobs: int | None = 1) -> ExperimentTable:
+def run_table1(jobs: int | None = 1, flow_solver: str = DEFAULT_SOLVER) -> ExperimentTable:
     """Regenerate the experiment-overview table.
 
     Static metadata by nature; the rows double as an index into the
@@ -21,6 +22,7 @@ def run_table1(jobs: int | None = 1) -> ExperimentTable:
             "workflow", "domain", "language", "scheduler",
             "infrastructure", "runs", "evaluation", "section",
         ],
+        solver_version=flow_solver,
     )
     table.add_row(
         "SNV Calling", "genomics", "Cuneiform", "data-aware",

@@ -48,6 +48,22 @@ __all__ = [
 
 SCHEMA = "hiway-bench/1"
 
+#: Flow-solver override for benchmark runs (None = the library default,
+#: partitioned-v2). Set by ``run_benchmarks(flow_solver=...)`` / the
+#: ``--flow-solver`` CLI flag and read by every benchmark that builds a
+#: flow network, so one process can measure either solver version (the
+#: interleaved A/B harness in scripts/ab_flows.py sets it directly).
+BENCH_SOLVER: str | None = None
+
+
+def _solver_version() -> str:
+    """The solver version benchmarks are running under (for the stamp)."""
+    if BENCH_SOLVER is not None:
+        return BENCH_SOLVER
+    from repro.sim import DEFAULT_SOLVER
+
+    return DEFAULT_SOLVER
+
 
 def _peak_rss_kb() -> int:
     """Process peak resident set size in KB (Linux reports KB natively)."""
@@ -118,7 +134,7 @@ def _bench_flow_rebalance(quick: bool) -> tuple[int, float]:
 
     n = 600 if quick else 4_000
     env = Environment()
-    net = FlowNetwork(env)
+    net = FlowNetwork(env, solver=BENCH_SOLVER)
     cpus = [net.add_resource(f"cpu:{i}", 8.0, kind="cpu") for i in range(16)]
     disks = [net.add_resource(f"disk:{i}", 100.0, kind="disk") for i in range(16)]
     for i in range(16):
@@ -151,7 +167,7 @@ def _bench_flow_churn(quick: bool) -> tuple[int, float]:
 
     n = 400 if quick else 2_500
     env = Environment()
-    net = FlowNetwork(env)
+    net = FlowNetwork(env, solver=BENCH_SOLVER)
     nodes = [net.add_resource(f"node:{i}", 8.0, kind="cpu") for i in range(24)]
     for node in nodes:
         # Cap sum 9.0 > 8.0: every node stays contended throughout, so
@@ -190,7 +206,7 @@ def _bench_flow_components(quick: bool) -> tuple[int, float]:
     rounds = 20 if quick else 120
     racks = 32
     env = Environment()
-    net = FlowNetwork(env)
+    net = FlowNetwork(env, solver=BENCH_SOLVER)
     links = [
         net.add_resource(f"uplink:{i}", 100.0, kind="net") for i in range(racks)
     ]
@@ -337,7 +353,7 @@ def _bench_end_to_end_snv(quick: bool) -> tuple[int, float]:
     from repro.experiments.table2 import Table2Config, run_weak_scaling_once
 
     workers = 2 if quick else 4
-    config = Table2Config(runs=1)
+    config = Table2Config(runs=1, flow_solver=_solver_version())
     started = time.perf_counter()
     _, hiway = run_weak_scaling_once(config, workers, seed=0)
     wall = time.perf_counter() - started
@@ -359,7 +375,8 @@ def _bench_service_openloop(quick: bool) -> tuple[int, float]:
 
     horizon = 1800.0 if quick else 3600.0
     runner = ServiceRunner(ServiceConfig(
-        workers=4, max_concurrent_apps=4, sample_period_s=120.0, seed=0
+        workers=4, max_concurrent_apps=4, sample_period_s=120.0, seed=0,
+        flow_solver=_solver_version(),
     ))
     started = time.perf_counter()
     report = runner.run(
@@ -387,7 +404,8 @@ def _bench_obs_journal(quick: bool) -> tuple[int, float]:
 
     horizon = 1800.0 if quick else 3600.0
     runner = ServiceRunner(ServiceConfig(
-        workers=4, max_concurrent_apps=4, sample_period_s=120.0, seed=0
+        workers=4, max_concurrent_apps=4, sample_period_s=120.0, seed=0,
+        flow_solver=_solver_version(),
     ))
     journal = EventJournal(io.StringIO())
     started = time.perf_counter()
@@ -407,7 +425,10 @@ def _bench_end_to_end_fig9(quick: bool) -> tuple[int, float]:
     from repro.experiments.fig9 import Fig9Config, _one_experiment
 
     runs = 1 if quick else 3
-    config = Fig9Config(consecutive_heft_runs=runs, experiment_repeats=1)
+    config = Fig9Config(
+        consecutive_heft_runs=runs, experiment_repeats=1,
+        flow_solver=_solver_version(),
+    )
     started = time.perf_counter()
     _one_experiment(config, seed=0)
     wall = time.perf_counter() - started
@@ -437,7 +458,8 @@ BENCHMARKS: dict[str, Callable[[bool], tuple[int, float]]] = {
 
 
 def run_benchmarks(
-    quick: bool = False, echo=None, benchmarks=None, repeats: int = 3
+    quick: bool = False, echo=None, benchmarks=None, repeats: int = 3,
+    flow_solver: str | None = None,
 ) -> dict:
     """Run the suite; returns the ``hiway-bench/1`` document.
 
@@ -446,7 +468,14 @@ def run_benchmarks(
     run ``repeats`` times and the fastest pass is reported — timing
     noise is one-sided (preemption only ever slows a run down), so
     best-of-N is the stable estimator of the code's actual speed.
+    ``flow_solver`` selects the rate-solver version for every benchmark
+    that builds a flow network (None = the library default); the
+    resulting document is stamped with ``solver_version`` either way.
     """
+    global BENCH_SOLVER
+    previous_solver = BENCH_SOLVER
+    if flow_solver is not None:
+        BENCH_SOLVER = flow_solver
     results = []
     for name, bench in (BENCHMARKS if benchmarks is None else benchmarks).items():
         ops, wall = bench(quick)
@@ -466,14 +495,17 @@ def run_benchmarks(
                 f"  {name:<24} {ops:>9} ops  {wall:>9.3f}s  "
                 f"{results[-1]['ops_per_second']:>14,.0f} ops/s"
             )
-    return {
+    document = {
         "schema": SCHEMA,
         "python": platform.python_version(),
         "platform": platform.platform(),
         "quick": quick,
+        "solver_version": _solver_version(),
         "peak_rss_kb": _peak_rss_kb(),
         "benchmarks": results,
     }
+    BENCH_SOLVER = previous_solver
+    return document
 
 
 def next_bench_path(directory: str = ".") -> str:
@@ -561,6 +593,11 @@ def add_bench_arguments(parser: argparse.ArgumentParser) -> None:
                         help="best-of-N passes per benchmark (default: 3); "
                         "raise this when gating with a tight --tolerance — "
                         "best-of-N variance shrinks with N")
+    parser.add_argument("--flow-solver", default=None,
+                        choices=["global-v1", "partitioned-v2"],
+                        help="flow rate-solver version for the run "
+                        "(default: partitioned-v2); the document is "
+                        "stamped with solver_version either way")
 
 
 def run_bench_command(args) -> int:
@@ -568,7 +605,8 @@ def run_bench_command(args) -> int:
     print(f"running {len(BENCHMARKS)} benchmarks "
           f"({'quick' if args.quick else 'full'} mode)...")
     document = run_benchmarks(
-        quick=args.quick, echo=print, repeats=getattr(args, "repeats", 3)
+        quick=args.quick, echo=print, repeats=getattr(args, "repeats", 3),
+        flow_solver=getattr(args, "flow_solver", None),
     )
     out_path = args.out or next_bench_path(".")
     with open(out_path, "w", encoding="utf-8") as handle:
